@@ -1,0 +1,66 @@
+// Command e2ebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	e2ebench              # run every experiment
+//	e2ebench -list        # list experiment IDs
+//	e2ebench -run F9,F13  # run selected experiments
+//
+// Experiment IDs follow DESIGN.md: E1 (motivating iperf), E2 (STREAM),
+// F4 (cost breakdown), T1 (testbed table), F7/F8 (iSER bandwidth/CPU),
+// F9–F12 (end-to-end uni/bi-directional), F13/F14 (WAN), A1 (SSD thermal),
+// A2 (path ceiling).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"e2edt/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	charts := flag.Bool("chart", false, "render ASCII charts for experiments with series")
+	md := flag.Bool("md", false, "emit tables as markdown (for EXPERIMENTS.md-style reports)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Printf("### %s — %s\n\n", res.ID, res.Title)
+			for _, tb := range res.Tables {
+				fmt.Println(tb.Markdown())
+			}
+			for _, n := range res.Notes {
+				fmt.Printf("> %s\n", n)
+			}
+			fmt.Println()
+		} else {
+			fmt.Println(res)
+		}
+		if *charts {
+			if c := res.RenderChart(); c != "" {
+				fmt.Println(c)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command fiosim benchmarks the simulated iSER storage area network the
+// way §4.2 of the paper does with fio: parallel block I/O against tmpfs
+// LUNs, with selectable NUMA policy, operation, block size and queue
+// depth.
+//
+// Usage examples:
+//
+//	fiosim                                  # tuned read, 4MB, depth 4
+//	fiosim -op write -policy default        # untuned writes (3× CPU)
+//	fiosim -bs 256KB -depth 8 -luns 6 -t 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"e2edt/internal/blockdev"
+	"e2edt/internal/fabric"
+	"e2edt/internal/fio"
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/iscsi"
+	"e2edt/internal/iser"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	op := flag.String("op", "read", "operation: read or write")
+	bs := flag.String("bs", "4MB", "block size")
+	depth := flag.Int("depth", 4, "I/O depth per LUN (paper optimum: 4)")
+	luns := flag.Int("luns", 6, "logical unit count")
+	policy := flag.String("policy", "bind", "NUMA policy: bind or default")
+	duration := flag.Float64("t", 5, "run duration in simulated seconds")
+	flag.Parse()
+
+	blockSize, err := units.ParseBlockSize(*bs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol := numa.PolicyBind
+	if *policy == "default" {
+		pol = numa.PolicyDefault
+	}
+	scsiOp := iscsi.OpRead
+	if *op == "write" {
+		scsiOp = iscsi.OpWrite
+	}
+
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	hi := host.New("initiator", numa.MustNew(s, testbed.BackEndLAN("initiator")))
+	ht := host.New("target", numa.MustNew(s, testbed.BackEndLAN("target")))
+	var links []*fabric.Link
+	for i := 0; i < 2; i++ {
+		links = append(links, fabric.Connect(s, testbed.IBFDR56(fmt.Sprintf("ib%d", i)),
+			hi, hi.M.Node(i), ht, ht.M.Node(i)))
+	}
+	tg := iscsi.NewTarget("tgt", ht, iscsi.DefaultTargetConfig(pol))
+	for i := 0; i < *luns; i++ {
+		var homes []*numa.Node
+		if pol == numa.PolicyBind {
+			homes = []*numa.Node{ht.M.Node(i % 2)}
+		} else {
+			homes = ht.M.Nodes
+		}
+		tg.AddLUN(i, blockdev.NewRamdisk(ht.M, fmt.Sprintf("lun%d", i), 50*units.GB, homes...))
+	}
+	initProc := hi.NewProcess("open-iscsi", pol, nil)
+	mv := iser.NewMover(
+		[]iser.Portal{iser.PortalFor(links[0], ht), iser.PortalFor(links[1], ht)},
+		initProc.NewThread(), tg, iser.DefaultParams())
+	sess := iscsi.NewSession(tg, mv)
+
+	mkBuf := func(lun, slot int) *numa.Buffer {
+		if pol == numa.PolicyBind {
+			return hi.M.NewBuffer("fio", hi.M.Node(lun%2))
+		}
+		return hi.M.InterleavedBuffer("fio")
+	}
+	res, err := fio.Run(eng, sess, mkBuf, fio.JobSpec{
+		Name: "fiosim", Op: scsiOp, BlockSize: blockSize,
+		IODepth: *depth, Duration: sim.Duration(*duration),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res[0])
+	rep := ht.HostCPUReport()
+	fmt.Printf("target CPU: %.0f%% (%s)\n", rep.TotalPercent(*duration), rep)
+}

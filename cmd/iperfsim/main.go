@@ -1,0 +1,53 @@
+// Command iperfsim reruns the paper's §2.3 motivating experiment: iperf
+// over three 40 Gbps RoCE links between two NUMA hosts, comparing the
+// default Linux scheduler against NUMA binding.
+//
+// Usage examples:
+//
+//	iperfsim                 # both policies, bi-directional (the paper's run)
+//	iperfsim -uni -streams 2
+//	iperfsim -cached         # iperf's default cache-resident source buffer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"e2edt/internal/host"
+	"e2edt/internal/iperf"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	streams := flag.Int("streams", 1, "TCP streams per link per direction")
+	uni := flag.Bool("uni", false, "unidirectional instead of bi-directional")
+	cached := flag.Bool("cached", false, "use iperf's default cache-resident source buffer")
+	duration := flag.Float64("t", 10, "run duration in simulated seconds")
+	flag.Parse()
+
+	run := func(policy numa.Policy) {
+		p := testbed.NewMotivatingPair()
+		cfg := iperf.DefaultConfig()
+		cfg.Policy = policy
+		cfg.StreamsPerLink = *streams
+		cfg.Bidirectional = !*uni
+		cfg.LargeBuffer = !*cached
+		cfg.Duration = sim.Duration(*duration)
+		rep := iperf.Run(p.Links, cfg)
+		cpu := p.A.HostCPUReport()
+		copyShare := 0.0
+		if cpu.Total > 0 {
+			copyShare = cpu.ByCategory[host.CatCopy] / cpu.Total * 100
+		}
+		fmt.Printf("%-8s aggregate %s  (copy = %.0f%% of CPU)\n",
+			policy.String()+":", units.FormatRate(rep.Aggregate), copyShare)
+	}
+	run(numa.PolicyDefault)
+	run(numa.PolicyBind)
+	fmt.Println("paper (§2.3): default 83.5 Gbps, NUMA-tuned 91.8 Gbps (+10%)")
+}

@@ -1,0 +1,112 @@
+// lan-e2e reproduces the paper's §4.3 scenario (Figures 9–12): sustained
+// end-to-end transfers through the full LAN testbed, RFTP versus GridFTP,
+// unidirectional and bi-directional, with throughput sampled over time and
+// CPU profiles reported per host.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"e2edt/internal/core"
+	"e2edt/internal/gridftp"
+	"e2edt/internal/host"
+	"e2edt/internal/metrics"
+	"e2edt/internal/rftp"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	const duration = 300.0 // five simulated minutes per run
+	const sample = 10.0
+
+	fmt.Println("== unidirectional (Figure 9/10) ==")
+	rftpUni := runRFTP(false, duration, sample)
+	gridUni := runGridFTP(false, duration, sample)
+
+	fmt.Println("\n== bi-directional (Figure 11/12) ==")
+	rftpBidi := runRFTP(true, duration, sample)
+	gridBidi := runGridFTP(true, duration, sample)
+
+	fmt.Println("\n== summary ==")
+	fmt.Printf("RFTP: uni %.1f Gbps → bidi %.1f Gbps (%+.0f%%; paper +83%%)\n",
+		rftpUni, rftpBidi, (rftpBidi/rftpUni-1)*100)
+	fmt.Printf("GridFTP: uni %.1f Gbps → bidi %.1f Gbps (%+.0f%%; paper +33%%)\n",
+		gridUni, gridBidi, (gridBidi/gridUni-1)*100)
+	fmt.Printf("RFTP/GridFTP unidirectional ratio: %.1f× (paper ≈3.1×)\n", rftpUni/gridUni)
+}
+
+func runRFTP(bidi bool, duration, sample float64) float64 {
+	sys, err := core.NewSystem(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trs []*rftp.Transfer
+	dirs := []core.Direction{core.Forward}
+	if bidi {
+		dirs = append(dirs, core.Reverse)
+	}
+	for _, d := range dirs {
+		tr, err := sys.StartRFTP(d, rftp.DefaultConfig(), rftp.DefaultParams(), math.Inf(1), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trs = append(trs, tr)
+	}
+	total := func() float64 {
+		sum := 0.0
+		for _, tr := range trs {
+			sum += tr.Transferred()
+		}
+		return sum
+	}
+	return drive(sys, "RFTP", total, duration, sample)
+}
+
+func runGridFTP(bidi bool, duration, sample float64) float64 {
+	sys, err := core.NewSystem(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trs []*gridftp.Transfer
+	dirs := []core.Direction{core.Forward}
+	if bidi {
+		dirs = append(dirs, core.Reverse)
+	}
+	for _, d := range dirs {
+		tr, err := sys.StartGridFTP(d, gridftp.DefaultConfig(), math.Inf(1), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trs = append(trs, tr)
+	}
+	total := func() float64 {
+		sum := 0.0
+		for _, tr := range trs {
+			sum += tr.Transferred()
+		}
+		return sum
+	}
+	return drive(sys, "GridFTP", total, duration, sample)
+}
+
+// drive runs the simulation, printing a sparkline-style sampled series and
+// the per-host CPU profile, and returns the steady-state Gbps.
+func drive(sys *core.System, name string, counter func() float64, duration, sample float64) float64 {
+	s := metrics.NewSampler(sys.Engine(), name, sim.Duration(sample), counter)
+	sys.Engine().RunFor(sim.Duration(duration))
+	s.Stop()
+	gbps := units.ToGbps(s.Series.TailMean(0.8))
+	fmt.Printf("%-8s %.1f Gbps steady", name, gbps)
+	fmt.Printf("  [samples: first %.1f, mean %.1f, last %.1f]\n",
+		units.ToGbps(s.Series.Values[0]), units.ToGbps(s.Series.Mean()),
+		units.ToGbps(s.Series.Values[s.Series.Len()-1]))
+	for _, h := range []*host.Host{sys.A.Front, sys.B.Front} {
+		rep := h.HostCPUReport()
+		fmt.Printf("  %-10s CPU %.0f%% (%s)\n", h.Name, rep.TotalPercent(duration), rep)
+	}
+	return gbps
+}

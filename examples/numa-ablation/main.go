@@ -1,0 +1,73 @@
+// numa-ablation walks through every place the paper applies NUMA tuning
+// and shows the effect of turning it off:
+//
+//  1. iperf front-end streams (§2.3): thread binding removes remote-access
+//     penalties from kernel copies.
+//  2. STREAM (§2.3): unpinned threads leak traffic across the socket
+//     interconnect.
+//  3. iSER back end (Figures 7–8): per-node target processes with
+//     mpol-pinned tmpfs avoid cross-socket copies and coherency storms.
+//  4. Full end-to-end transfer: the compounded effect.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"e2edt/internal/core"
+	"e2edt/internal/experiments"
+	"e2edt/internal/iperf"
+	"e2edt/internal/numa"
+	"e2edt/internal/rftp"
+	"e2edt/internal/stream"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("== 1. iperf thread binding (§2.3) ==")
+	for _, pol := range []numa.Policy{numa.PolicyDefault, numa.PolicyBind} {
+		p := testbed.NewMotivatingPair()
+		cfg := iperf.DefaultConfig()
+		cfg.Policy = pol
+		rep := iperf.Run(p.Links, cfg)
+		fmt.Printf("  %-8s %s\n", pol, units.FormatRate(rep.Aggregate))
+	}
+
+	fmt.Println("\n== 2. STREAM Triad placement (§2.3) ==")
+	for _, pol := range []numa.Policy{numa.PolicyDefault, numa.PolicyBind} {
+		p := testbed.NewMotivatingPair()
+		cfg := stream.DefaultConfig(p.A)
+		cfg.Policy = pol
+		res := stream.Run(p.A, cfg)
+		fmt.Printf("  %-8s %.1f GB/s\n", pol, units.ToGBps(res.Bandwidth))
+	}
+
+	fmt.Println("\n== 3. iSER target tuning (Figures 7–8) ==")
+	res, err := experiments.Run("F7")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Tables[0].String())
+
+	fmt.Println("\n== 4. end-to-end compound effect ==")
+	for _, pol := range []numa.Policy{numa.PolicyDefault, numa.PolicyBind} {
+		opt := core.DefaultOptions()
+		opt.Policy = pol
+		sys, err := core.NewSystem(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rcfg := rftp.DefaultConfig()
+		rcfg.Policy = pol
+		tr, err := sys.StartRFTP(core.Forward, rcfg, rftp.DefaultParams(), math.Inf(1), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.Engine().RunFor(20)
+		fmt.Printf("  %-8s RFTP end-to-end %s\n", pol, units.FormatRate(tr.Transferred()/20))
+	}
+}

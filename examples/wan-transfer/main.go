@@ -1,0 +1,69 @@
+// wan-transfer reproduces the paper's §4.4 scenario (Figures 13–14): RFTP
+// memory-to-memory transfers over the DOE ANI 4000-mile loop (40 Gbps
+// RoCE, 95 ms RTT, ≈475 MB bandwidth-delay product), sweeping block size
+// and stream count, and comparing against a TCP baseline with default
+// socket buffers to show why RDMA with credit pipelining wins on long fat
+// pipes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"e2edt/internal/pipe"
+	"e2edt/internal/rftp"
+	"e2edt/internal/tcpstack"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	const window = 20.0
+
+	fmt.Printf("ANI loop: 40 Gbps, RTT 95 ms, BDP %s\n\n",
+		units.FormatBytes(int64(testbed.NewWAN().Link.BDP())))
+
+	fmt.Println("RFTP payload bandwidth (Gbps) — Figure 13:")
+	blockSizes := []int64{64 * units.KB, 256 * units.KB, units.MB, 4 * units.MB, 16 * units.MB}
+	fmt.Printf("%8s", "streams")
+	for _, bs := range blockSizes {
+		fmt.Printf("%9s", units.FormatBytes(bs))
+	}
+	fmt.Println()
+	for _, streams := range []int{1, 2, 4, 8} {
+		fmt.Printf("%8d", streams)
+		for _, bs := range blockSizes {
+			w := testbed.NewWAN()
+			cfg := rftp.DefaultConfig()
+			cfg.Streams = streams
+			cfg.BlockSize = bs
+			tr, err := rftp.Start(w.LinkSlice(), w.A, cfg, rftp.DefaultParams(),
+				pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			w.Eng.RunFor(window)
+			fmt.Printf("%9.2f", units.ToGbps(tr.Transferred()/window))
+			tr.Stop()
+		}
+		fmt.Println()
+	}
+
+	// TCP baseline: a cubic stream with 64 MB socket buffers is window
+	// limited to buf/RTT on this path — the "challenging for traditional
+	// protocols" point of §4.4.
+	w := testbed.NewWAN()
+	snd := w.A.NewProcess("tcp", 0, nil).NewThread()
+	rcv := w.B.NewProcess("tcp", 0, nil).NewThread()
+	p := tcpstack.DefaultParams()
+	p.RampTime = 2 // cubic convergence
+	conn := tcpstack.Dial(w.Link, w.Link.A, snd, rcv, p)
+	tr := conn.Stream(math.Inf(1), tcpstack.FlowOptions{}, nil)
+	w.Eng.RunFor(window)
+	w.Sim.Sync()
+	fmt.Printf("\nTCP baseline (64MB socket buffer, cubic): %s — window-bound at buf/RTT\n",
+		units.FormatRate(tr.Transferred()/window))
+	fmt.Println("paper: RFTP utilizes 97% of the raw 40 Gbps at large block sizes")
+}

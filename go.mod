@@ -1,0 +1,3 @@
+module e2edt
+
+go 1.22

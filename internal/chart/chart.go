@@ -1,0 +1,205 @@
+// Package chart renders metrics series as ASCII line charts, so the
+// benchmark harness can show figure-shaped output (throughput over time,
+// bandwidth versus block size) directly in a terminal.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"e2edt/internal/metrics"
+)
+
+// Options control rendering.
+type Options struct {
+	Title  string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// LogX spaces samples by log₂(x) — for block-size sweeps.
+	LogX bool
+	// YMin/YMax fix the y range; both zero = auto-scale.
+	YMin, YMax float64
+}
+
+// glyphs mark successive series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the series into a single string.
+func Render(opt Options, series ...metrics.Series) string {
+	if opt.Width <= 0 {
+		opt.Width = 60
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	nonEmpty := series[:0:0]
+	for _, s := range series {
+		if s.Len() > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := opt.YMin, opt.YMax
+	auto := ymin == 0 && ymax == 0
+	if auto {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+	}
+	xval := func(x float64) float64 {
+		if opt.LogX && x > 0 {
+			return math.Log2(x)
+		}
+		return x
+	}
+	for _, s := range nonEmpty {
+		for i := range s.Values {
+			x := xval(s.Times[i])
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if auto {
+				if s.Values[i] < ymin {
+					ymin = s.Values[i]
+				}
+				if s.Values[i] > ymax {
+					ymax = s.Values[i]
+				}
+			}
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if auto && ymin > 0 && ymin < ymax/4 {
+		ymin = 0 // anchor at zero when the data allows it
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range nonEmpty {
+		g := glyphs[si%len(glyphs)]
+		var prevC, prevR, has = 0, 0, false
+		for i := range s.Values {
+			c := int(math.Round((xval(s.Times[i]) - xmin) / (xmax - xmin) * float64(opt.Width-1)))
+			r := opt.Height - 1 - int(math.Round((s.Values[i]-ymin)/(ymax-ymin)*float64(opt.Height-1)))
+			if c < 0 || c >= opt.Width || r < 0 || r >= opt.Height {
+				has = false
+				continue
+			}
+			if has {
+				drawLine(grid, prevC, prevR, c, r, '.')
+			}
+			grid[r][c] = g
+			prevC, prevR, has = c, r, true
+		}
+	}
+
+	yLabelW := 10
+	for r := 0; r < opt.Height; r++ {
+		y := ymax - (ymax-ymin)*float64(r)/float64(opt.Height-1)
+		label := ""
+		if r == 0 || r == opt.Height-1 || r == opt.Height/2 {
+			label = trimFloat(y)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelW, label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelW, "", strings.Repeat("-", opt.Width))
+	left, right := xmin, xmax
+	if opt.LogX {
+		left, right = math.Pow(2, xmin), math.Pow(2, xmax)
+	}
+	xaxis := fmt.Sprintf("%s ... %s", trimFloat(left), trimFloat(right))
+	if opt.XLabel != "" {
+		xaxis += "  (" + opt.XLabel + ")"
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", yLabelW, "", xaxis)
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  y: %s\n", yLabelW, "", opt.YLabel)
+	}
+	for si, s := range nonEmpty {
+		fmt.Fprintf(&b, "%*s  %c = %s\n", yLabelW, "", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// drawLine connects two cells with a sparse dotted Bresenham segment,
+// leaving endpoint glyphs intact.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, ch byte) {
+	dc, dr := abs(c1-c0), -abs(r1-r0)
+	sc, sr := sign(c1-c0), sign(r1-r0)
+	err := dc + dr
+	c, r := c0, r0
+	for {
+		if (c != c0 || r != r0) && (c != c1 || r != r1) {
+			if grid[r][c] == ' ' {
+				grid[r][c] = ch
+			}
+		}
+		if c == c1 && r == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			err += dr
+			c += sc
+		}
+		if e2 <= dc {
+			err += dc
+			r += sr
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// trimFloat renders a number compactly.
+func trimFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || av == 0:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,129 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"e2edt/internal/metrics"
+)
+
+func mkSeries(name string, pts ...[2]float64) metrics.Series {
+	s := metrics.Series{Name: name}
+	for _, p := range pts {
+		s.Add(p[0], p[1])
+	}
+	return s
+}
+
+func TestRenderBasicShape(t *testing.T) {
+	s := mkSeries("line", [2]float64{0, 0}, [2]float64{1, 50}, [2]float64{2, 100})
+	out := Render(Options{Title: "T", Width: 40, Height: 10, YLabel: "Gbps"}, s)
+	if !strings.Contains(out, "T\n") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* = line") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "y: Gbps") {
+		t.Fatal("missing y label")
+	}
+	lines := strings.Split(out, "\n")
+	// title + 10 rows + axis + xlabel + ylabel + legend + trailing
+	if len(lines) < 14 {
+		t.Fatalf("too few lines: %d\n%s", len(lines), out)
+	}
+	// The max point should be at the top row, min at the bottom.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max sample not on top row:\n%s", out)
+	}
+	if !strings.Contains(lines[10], "*") {
+		t.Fatalf("min sample not on bottom row:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesGlyphs(t *testing.T) {
+	a := mkSeries("a", [2]float64{0, 1}, [2]float64{1, 2})
+	b := mkSeries("b", [2]float64{0, 2}, [2]float64{1, 1})
+	out := Render(Options{}, a, b)
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Fatalf("glyph legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("second series not drawn")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(Options{Title: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty render should say so")
+	}
+	out = Render(Options{}, metrics.Series{Name: "x"})
+	if !strings.Contains(out, "no data") {
+		t.Fatal("series without samples should render as no data")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := mkSeries("flat", [2]float64{0, 5}, [2]float64{1, 5}, [2]float64{2, 5})
+	out := Render(Options{Width: 20, Height: 5}, s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series missing:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	s := mkSeries("pt", [2]float64{3, 7})
+	out := Render(Options{}, s)
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point missing")
+	}
+}
+
+func TestLogXAxis(t *testing.T) {
+	s := mkSeries("bs", [2]float64{65536, 1}, [2]float64{1048576, 10}, [2]float64{16777216, 39})
+	out := Render(Options{LogX: true, XLabel: "block size"}, s)
+	if !strings.Contains(out, "block size") {
+		t.Fatal("x label missing")
+	}
+	// Log axis should report original bounds (64k, 16.8M).
+	if !strings.Contains(out, "65.5k") || !strings.Contains(out, "16.8M") {
+		t.Fatalf("log axis bounds wrong:\n%s", out)
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	s := mkSeries("s", [2]float64{0, 50})
+	out := Render(Options{YMin: 0.0001, YMax: 100, Height: 11}, s)
+	// 50 on a 0..100 scale lands mid-chart.
+	lines := strings.Split(out, "\n")
+	mid := lines[5]
+	if !strings.Contains(mid, "*") {
+		t.Fatalf("fixed-range placement wrong:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		5.25:   "5.25",
+		42:     "42",
+		1500:   "1.5k",
+		2.5e6:  "2.5M",
+		3.21e9: "3.2G",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLineDrawingConnects(t *testing.T) {
+	// Two distant points: interior cells should carry dots.
+	s := mkSeries("l", [2]float64{0, 0}, [2]float64{10, 10})
+	out := Render(Options{Width: 30, Height: 10}, s)
+	if !strings.Contains(out, ".") {
+		t.Fatalf("no connecting dots:\n%s", out)
+	}
+}

@@ -1,0 +1,253 @@
+// Package core assembles the paper's complete end-to-end data transfer
+// system (Figure 5): NUMA-tuned iSER storage area networks behind each
+// front-end host, XFS-like filesystems over the exported LUNs, and the
+// RFTP/GridFTP transfer tools across the 3×40 Gbps front-end fabric.
+//
+// This is the library's top-level public surface: construct a System,
+// then launch transfers with StartRFTP/StartGridFTP, or reach into the
+// exposed components (testbed, sessions, filesystems) for custom
+// experiments.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"e2edt/internal/blockdev"
+	"e2edt/internal/fabric"
+	"e2edt/internal/fluid"
+	"e2edt/internal/fsim"
+	"e2edt/internal/gridftp"
+	"e2edt/internal/host"
+	"e2edt/internal/iscsi"
+	"e2edt/internal/iser"
+	"e2edt/internal/numa"
+	"e2edt/internal/pipe"
+	"e2edt/internal/rftp"
+	"e2edt/internal/sim"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+// Options configure system assembly.
+type Options struct {
+	// Policy is the NUMA policy applied throughout (targets, initiators,
+	// transfer tools). The paper's tuned configuration is PolicyBind.
+	Policy numa.Policy
+	// LUNs is the logical unit count per back end (paper: 6).
+	LUNs int
+	// LUNSize is each LUN's capacity (paper: 50 GB).
+	LUNSize int64
+	// DatasetSize is the source file's size (paper: 300 GB total).
+	DatasetSize int64
+	// TargetCfg tunes the iSER targets; zero value takes the default for
+	// the chosen policy.
+	TargetCfg iscsi.TargetConfig
+	// ISER tunes the datamover; zero value takes defaults.
+	ISER iser.Params
+	// FSOpt tunes the filesystems; zero value takes defaults.
+	FSOpt fsim.Options
+	// DeviceFactory overrides LUN construction (ablations: SSD- or
+	// HDD-backed back ends). Nil builds the paper's NUMA-pinned ramdisks.
+	DeviceFactory func(store *host.Host, lun int, policy numa.Policy) blockdev.Device
+}
+
+// DefaultOptions mirrors the paper's tuned setup.
+func DefaultOptions() Options {
+	return Options{
+		Policy:      numa.PolicyBind,
+		LUNs:        6,
+		LUNSize:     50 * units.GB,
+		DatasetSize: 140 * units.GB,
+	}
+}
+
+// Side is one half of the end-to-end path: a front-end host plus its SAN.
+type Side struct {
+	Front *host.Host
+	Store *host.Host
+	// Target is the iSER target daemon on the storage host.
+	Target *iscsi.Target
+	// Session is the front end's iSCSI session.
+	Session *iscsi.Session
+	// FS is the XFS-like filesystem over the exported LUNs.
+	FS *fsim.FS
+	// Dataset and Output are the pre-created files used by transfers.
+	Dataset *fsim.File
+	Output  *fsim.File
+}
+
+// System is the full Figure 5 deployment.
+type System struct {
+	Opt Options
+	TB  *testbed.LAN
+	// A is the sender side, B the receiver side (forward direction).
+	A, B *Side
+}
+
+// Direction selects which front end sends.
+type Direction int
+
+const (
+	// Forward transfers A→B (sender→receiver).
+	Forward Direction = iota
+	// Reverse transfers B→A.
+	Reverse
+)
+
+// NewSystem builds the system. The zero-value sub-configs in opt are
+// replaced with defaults.
+func NewSystem(opt Options) (*System, error) {
+	if opt.LUNs <= 0 || opt.LUNSize <= 0 {
+		return nil, fmt.Errorf("core: LUNs and LUNSize must be positive")
+	}
+	if opt.DatasetSize <= 0 {
+		return nil, fmt.Errorf("core: DatasetSize must be positive")
+	}
+	if opt.TargetCfg.ThreadsPerLUN == 0 {
+		opt.TargetCfg = iscsi.DefaultTargetConfig(opt.Policy)
+	}
+	if opt.ISER.CopyCyclesPerByte == 0 {
+		opt.ISER = iser.DefaultParams()
+	}
+	if opt.FSOpt.StripeSize == 0 {
+		opt.FSOpt = fsim.DefaultOptions()
+	}
+	tb := testbed.NewLAN()
+	sys := &System{Opt: opt, TB: tb}
+
+	var err error
+	sys.A, err = buildSide(opt, tb, tb.Sender, tb.SrcStore, tb.SrcSAN)
+	if err != nil {
+		return nil, err
+	}
+	sys.B, err = buildSide(opt, tb, tb.Receiver, tb.DstStore, tb.DstSAN)
+	if err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func buildSide(opt Options, tb *testbed.LAN, front, store *host.Host, san []*fabric.Link) (*Side, error) {
+	tgt := iscsi.NewTarget(store.Name, store, opt.TargetCfg)
+	for i := 0; i < opt.LUNs; i++ {
+		var dev blockdev.Device
+		if opt.DeviceFactory != nil {
+			dev = opt.DeviceFactory(store, i, opt.Policy)
+		} else {
+			var homes []*numa.Node
+			if opt.Policy == numa.PolicyBind {
+				homes = []*numa.Node{store.M.Node(i % len(store.M.Nodes))}
+			} else {
+				homes = store.M.Nodes
+			}
+			dev = blockdev.NewRamdisk(store.M,
+				fmt.Sprintf("%s-lun%d", store.Name, i), opt.LUNSize, homes...)
+		}
+		tgt.AddLUN(i, dev)
+	}
+	initProc := front.NewProcess("open-iscsi", opt.Policy, nil)
+	portals := make([]iser.Portal, len(san))
+	for i, l := range san {
+		portals[i] = iser.PortalFor(l, store)
+	}
+	mover := iser.NewMover(portals, initProc.NewThread(), tgt, opt.ISER)
+	sess := iscsi.NewSession(tgt, mover)
+	fs, err := fsim.Mount(sess, front, opt.FSOpt)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := fs.Create("dataset", opt.DatasetSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: dataset: %w", err)
+	}
+	out, err := fs.Create("output", opt.DatasetSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: output: %w", err)
+	}
+	return &Side{
+		Front: front, Store: store,
+		Target: tgt, Session: sess, FS: fs,
+		Dataset: ds, Output: out,
+	}, nil
+}
+
+// Engine exposes the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.TB.Eng }
+
+// ends resolves the direction into (sender side, receiver side).
+func (s *System) ends(dir Direction) (*Side, *Side) {
+	if dir == Reverse {
+		return s.B, s.A
+	}
+	return s.A, s.B
+}
+
+// StartRFTP launches an RFTP transfer of size bytes (math.Inf(1) for
+// open-ended) in the given direction. RFTP reads and writes with direct
+// I/O on dedicated I/O threads.
+func (s *System) StartRFTP(dir Direction, cfg rftp.Config, p rftp.Params,
+	size float64, onDone func(now sim.Time)) (*rftp.Transfer, error) {
+	snd, rcv := s.ends(dir)
+	src := pipe.FileReader{File: snd.Dataset, Direct: true}
+	dst := pipe.FileWriter{File: rcv.Output, Direct: true}
+	return rftp.Start(s.TB.FrontLinks, snd.Front, cfg, p, src, dst, size, onDone)
+}
+
+// StartRFTPSet transfers a dataset of individual files (manifest-style,
+// as the paper's tool moves file collections) in the given direction:
+// files stream from the sender's dataset region to the receiver's output
+// region, each paying its per-file control exchange.
+func (s *System) StartRFTPSet(dir Direction, cfg rftp.Config, p rftp.Params,
+	files []rftp.FileSpec, onDone func(now sim.Time)) (*rftp.SetTransfer, error) {
+	snd, rcv := s.ends(dir)
+	if total := rftp.TotalBytes(files); total > float64(snd.Dataset.Size) {
+		return nil, fmt.Errorf("core: file set (%d bytes) exceeds dataset size", int64(total))
+	}
+	src := pipe.FileReader{File: snd.Dataset, Direct: true}
+	dst := pipe.FileWriter{File: rcv.Output, Direct: true}
+	return rftp.StartSet(s.TB.FrontLinks, snd.Front, cfg, p, src, dst, files, onDone)
+}
+
+// StartGridFTP launches a GridFTP transfer in the given direction.
+// GridFTP reads and writes buffered (no direct I/O) on its single
+// per-stream threads.
+func (s *System) StartGridFTP(dir Direction, cfg gridftp.Config,
+	size float64, onDone func(now sim.Time)) (*gridftp.Transfer, error) {
+	snd, rcv := s.ends(dir)
+	src := pipe.FileReader{File: snd.Dataset, Direct: false}
+	dst := pipe.FileWriter{File: rcv.Output, Direct: false}
+	return gridftp.Start(s.TB.FrontLinks, snd.Front, cfg, src, dst, size, onDone)
+}
+
+// MeasureCeiling measures the narrowest section of the end-to-end path the
+// way the paper does with fio (§4.3): a streaming write (or read) against
+// one side's SAN, bypassing the front-end fabric. It returns bytes/second.
+func (s *System) MeasureCeiling(side *Side, op iscsi.Op, duration sim.Duration) (float64, error) {
+	proc := side.Front.NewProcess("fio-ceiling", s.Opt.Policy, nil)
+	fl := side.Front.Sim.NewFlow("ceiling", math.Inf(1))
+	file := side.Dataset
+	if op == iscsi.OpWrite {
+		file = side.Output
+	}
+	var buf *numa.Buffer
+	th := proc.NewThread()
+	if node := th.Node(); node != nil {
+		buf = side.Front.M.NewBuffer("ceiling", node)
+	} else {
+		buf = side.Front.M.InterleavedBuffer("ceiling")
+	}
+	err := file.AttachStream(fl, op, fsim.IOOptions{
+		Thread: th, Buffer: buf, Direct: true, Tag: "ceiling",
+	}, 1)
+	if err != nil {
+		return 0, err
+	}
+	tr := &fluid.Transfer{Flow: fl, Remaining: math.Inf(1)}
+	side.Front.Sim.Start(tr)
+	s.TB.Eng.RunFor(duration)
+	side.Front.Sim.Sync()
+	rate := tr.Transferred() / float64(duration)
+	side.Front.Sim.Cancel(tr)
+	return rate, nil
+}

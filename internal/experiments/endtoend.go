@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"e2edt/internal/chart"
+	"e2edt/internal/core"
+	"e2edt/internal/gridftp"
+	"e2edt/internal/host"
+	"e2edt/internal/iscsi"
+	"e2edt/internal/metrics"
+	"e2edt/internal/rftp"
+	"e2edt/internal/units"
+)
+
+func init() {
+	register("F9", EndToEndThroughput)
+	register("F10", EndToEndCPU)
+	register("F11", BiDirectionalThroughput)
+	register("F12", BiDirectionalCPU)
+	register("A2", FioCeiling)
+}
+
+func mustSystem() *core.System {
+	sys, err := core.NewSystem(core.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// EndToEndThroughput regenerates Figure 9: RFTP vs GridFTP end-to-end
+// throughput sampled over the paper's 25-minute window.
+// Paper: ceiling 94.8 Gbps (fio write path); RFTP 91 Gbps (96%); GridFTP
+// 29 Gbps (30%).
+func EndToEndThroughput() Result {
+	const duration = 1500.0 // 25 minutes
+	const sample = 30.0
+
+	runTool := func(name string, start func(sys *core.System) func() float64) metrics.Series {
+		sys := mustSystem()
+		counter := start(sys)
+		s := metrics.NewSampler(sys.Engine(), name, sample, counter)
+		sys.Engine().RunFor(duration)
+		s.Stop()
+		for i := range s.Series.Values {
+			s.Series.Values[i] = units.ToGbps(s.Series.Values[i])
+		}
+		return s.Series
+	}
+
+	rftpSeries := runTool("RFTP-Gbps", func(sys *core.System) func() float64 {
+		tr, err := sys.StartRFTP(core.Forward, rftp.DefaultConfig(), rftp.DefaultParams(), math.Inf(1), nil)
+		if err != nil {
+			panic(err)
+		}
+		return func() float64 { return tr.Transferred() }
+	})
+	gridSeries := runTool("GridFTP-Gbps", func(sys *core.System) func() float64 {
+		tr, err := sys.StartGridFTP(core.Forward, gridftp.DefaultConfig(), math.Inf(1), nil)
+		if err != nil {
+			panic(err)
+		}
+		return func() float64 { return tr.Transferred() }
+	})
+
+	sysC := mustSystem()
+	ceiling, err := sysC.MeasureCeiling(sysC.B, iscsi.OpWrite, 5)
+	if err != nil {
+		panic(err)
+	}
+
+	tb := metrics.Table{
+		Title:   "End-to-end throughput over 25 minutes (Fig. 9)",
+		Headers: []string{"tool", "steady throughput", "share of ceiling"},
+	}
+	tb.AddRow("fio write ceiling", units.FormatRate(ceiling), "100%")
+	tb.AddRow("RFTP", units.FormatRate(units.FromGbps(rftpSeries.TailMean(0.9))),
+		fmt.Sprintf("%.0f%%", units.FromGbps(rftpSeries.TailMean(0.9))/ceiling*100))
+	tb.AddRow("GridFTP", units.FormatRate(units.FromGbps(gridSeries.TailMean(0.9))),
+		fmt.Sprintf("%.0f%%", units.FromGbps(gridSeries.TailMean(0.9))/ceiling*100))
+	return Result{
+		ID:     "F9",
+		Title:  "End-to-end data transfer throughput",
+		Tables: []metrics.Table{tb},
+		Series: []metrics.Series{rftpSeries, gridSeries},
+		Chart:  &chart.Options{XLabel: "seconds", YLabel: "Gbps", YMin: 1e-9, YMax: 120},
+		Notes: []string{
+			fmt.Sprintf("paper: ceiling 94.8, RFTP 91 (96%%), GridFTP 29 (30%%); measured: %.1f, %.1f, %.1f Gbps",
+				units.ToGbps(ceiling), rftpSeries.TailMean(0.9), gridSeries.TailMean(0.9)),
+		},
+	}
+}
+
+// cpuBreakdownRow renders one host's CPU report as user/sys/copy/io rows.
+func cpuBreakdownRow(tb *metrics.Table, label string, rep host.CPUReport, window float64) {
+	tb.AddRow(label,
+		fmt.Sprintf("%.0f%%", rep.TotalPercent(window)),
+		fmt.Sprintf("%.0f%%", rep.Percent(host.CatUser, window)),
+		fmt.Sprintf("%.0f%%", rep.Percent(host.CatSys, window)),
+		fmt.Sprintf("%.0f%%", rep.Percent(host.CatCopy, window)),
+		fmt.Sprintf("%.0f%%", rep.Percent(host.CatIO, window)+rep.Percent("journal", window)),
+	)
+}
+
+// EndToEndCPU regenerates Figure 10: front-end CPU breakdown for RFTP and
+// GridFTP during the unidirectional end-to-end run.
+// Paper: GridFTP shows high "sys" (TCP stack) CPU; RFTP stays low.
+func EndToEndCPU() Result {
+	const window = 60.0
+	tb := metrics.Table{
+		Title:   "Front-end CPU during end-to-end transfer (Fig. 10)",
+		Headers: []string{"host", "total", "user", "sys", "copy", "io"},
+	}
+
+	sysR := mustSystem()
+	trR, _ := sysR.StartRFTP(core.Forward, rftp.DefaultConfig(), rftp.DefaultParams(), math.Inf(1), nil)
+	sysR.Engine().RunFor(window)
+	rGbps := units.ToGbps(trR.Transferred() / window)
+	cpuBreakdownRow(&tb, "RFTP sender", sysR.A.Front.HostCPUReport(), window)
+	cpuBreakdownRow(&tb, "RFTP receiver", sysR.B.Front.HostCPUReport(), window)
+
+	sysG := mustSystem()
+	trG, _ := sysG.StartGridFTP(core.Forward, gridftp.DefaultConfig(), math.Inf(1), nil)
+	sysG.Engine().RunFor(window)
+	gGbps := units.ToGbps(trG.Transferred() / window)
+	cpuBreakdownRow(&tb, "GridFTP sender", sysG.A.Front.HostCPUReport(), window)
+	cpuBreakdownRow(&tb, "GridFTP receiver", sysG.B.Front.HostCPUReport(), window)
+
+	return Result{
+		ID:     "F10",
+		Title:  "CPU utilization breakdown, RFTP vs GridFTP",
+		Tables: []metrics.Table{tb},
+		Notes: []string{
+			fmt.Sprintf("at RFTP %.1f Gbps vs GridFTP %.1f Gbps", rGbps, gGbps),
+			"paper: GridFTP's sys CPU dominates (TCP stack); RFTP total stays low",
+		},
+	}
+}
+
+// BiDirectionalThroughput regenerates Figure 11: simultaneous transfers in
+// both directions over the paper's 50-minute window.
+// Paper: RFTP gains ≈83% over unidirectional (17% short of doubling);
+// GridFTP gains only ≈33%.
+func BiDirectionalThroughput() Result {
+	const duration = 3000.0 // 50 minutes
+	const sample = 60.0
+
+	type tool struct {
+		name string
+		uni  func(sys *core.System) func() float64
+		bidi func(sys *core.System) func() float64
+	}
+	mkRFTP := func(dirs ...core.Direction) func(sys *core.System) func() float64 {
+		return func(sys *core.System) func() float64 {
+			var trs []*rftp.Transfer
+			for _, d := range dirs {
+				tr, err := sys.StartRFTP(d, rftp.DefaultConfig(), rftp.DefaultParams(), math.Inf(1), nil)
+				if err != nil {
+					panic(err)
+				}
+				trs = append(trs, tr)
+			}
+			return func() float64 {
+				sum := 0.0
+				for _, tr := range trs {
+					sum += tr.Transferred()
+				}
+				return sum
+			}
+		}
+	}
+	mkGrid := func(dirs ...core.Direction) func(sys *core.System) func() float64 {
+		return func(sys *core.System) func() float64 {
+			var trs []*gridftp.Transfer
+			for _, d := range dirs {
+				tr, err := sys.StartGridFTP(d, gridftp.DefaultConfig(), math.Inf(1), nil)
+				if err != nil {
+					panic(err)
+				}
+				trs = append(trs, tr)
+			}
+			return func() float64 {
+				sum := 0.0
+				for _, tr := range trs {
+					sum += tr.Transferred()
+				}
+				return sum
+			}
+		}
+	}
+	tools := []tool{
+		{"RFTP", mkRFTP(core.Forward), mkRFTP(core.Forward, core.Reverse)},
+		{"GridFTP", mkGrid(core.Forward), mkGrid(core.Forward, core.Reverse)},
+	}
+
+	tb := metrics.Table{
+		Title:   "Bi-directional end-to-end throughput (Fig. 11)",
+		Headers: []string{"tool", "unidirectional", "bi-directional", "gain"},
+	}
+	var series []metrics.Series
+	var notes []string
+	for _, tl := range tools {
+		run := func(label string, start func(sys *core.System) func() float64) float64 {
+			sys := mustSystem()
+			counter := start(sys)
+			s := metrics.NewSampler(sys.Engine(), label, sample, counter)
+			sys.Engine().RunFor(duration)
+			s.Stop()
+			for i := range s.Series.Values {
+				s.Series.Values[i] = units.ToGbps(s.Series.Values[i])
+			}
+			series = append(series, s.Series)
+			return units.FromGbps(s.Series.TailMean(0.9))
+		}
+		uni := run(tl.name+"-uni-Gbps", tl.uni)
+		bidi := run(tl.name+"-bidi-Gbps", tl.bidi)
+		gain := (bidi/uni - 1) * 100
+		tb.AddRow(tl.name, units.FormatRate(uni), units.FormatRate(bidi),
+			fmt.Sprintf("%+.0f%%", gain))
+		notes = append(notes, fmt.Sprintf("%s bidirectional gain measured %+.0f%%", tl.name, gain))
+	}
+	notes = append(notes, "paper: RFTP +83%, GridFTP +33%")
+	return Result{
+		ID:     "F11",
+		Title:  "Bi-directional end-to-end throughput",
+		Tables: []metrics.Table{tb},
+		Series: series,
+		Chart:  &chart.Options{XLabel: "seconds", YLabel: "Gbps", YMin: 1e-9, YMax: 200},
+		Notes:  notes,
+	}
+}
+
+// BiDirectionalCPU regenerates Figure 12: front-end CPU during the
+// bi-directional run. Paper: GridFTP's CPU contention explains its poor
+// bi-directional scaling.
+func BiDirectionalCPU() Result {
+	const window = 60.0
+	tb := metrics.Table{
+		Title:   "Front-end CPU during bi-directional transfer (Fig. 12)",
+		Headers: []string{"host", "total", "user", "sys", "copy", "io"},
+	}
+	sysR := mustSystem()
+	sysR.StartRFTP(core.Forward, rftp.DefaultConfig(), rftp.DefaultParams(), math.Inf(1), nil)
+	sysR.StartRFTP(core.Reverse, rftp.DefaultConfig(), rftp.DefaultParams(), math.Inf(1), nil)
+	sysR.Engine().RunFor(window)
+	cpuBreakdownRow(&tb, "RFTP host A", sysR.A.Front.HostCPUReport(), window)
+	cpuBreakdownRow(&tb, "RFTP host B", sysR.B.Front.HostCPUReport(), window)
+
+	sysG := mustSystem()
+	sysG.StartGridFTP(core.Forward, gridftp.DefaultConfig(), math.Inf(1), nil)
+	sysG.StartGridFTP(core.Reverse, gridftp.DefaultConfig(), math.Inf(1), nil)
+	sysG.Engine().RunFor(window)
+	cpuBreakdownRow(&tb, "GridFTP host A", sysG.A.Front.HostCPUReport(), window)
+	cpuBreakdownRow(&tb, "GridFTP host B", sysG.B.Front.HostCPUReport(), window)
+
+	return Result{
+		ID:     "F12",
+		Title:  "CPU utilization breakdown, bi-directional",
+		Tables: []metrics.Table{tb},
+		Notes: []string{
+			"paper: GridFTP CPU roughly doubles while throughput gains only 33%",
+		},
+	}
+}
+
+// FioCeiling regenerates the §4.3 fio probe: the narrowest section of the
+// end-to-end path. Paper: the file-write path tops out at 94.8 Gbps, which
+// bounds the end-to-end rate.
+func FioCeiling() Result {
+	sys := mustSystem()
+	read, err := sys.MeasureCeiling(sys.A, iscsi.OpRead, 5)
+	if err != nil {
+		panic(err)
+	}
+	sys2 := mustSystem()
+	write, err := sys2.MeasureCeiling(sys2.B, iscsi.OpWrite, 5)
+	if err != nil {
+		panic(err)
+	}
+	tb := metrics.Table{
+		Title:   "fio probe of end-to-end path sections (§4.3)",
+		Headers: []string{"path section", "bandwidth"},
+	}
+	tb.AddRow("file read (source SAN)", units.FormatRate(read))
+	tb.AddRow("file write (sink SAN)", units.FormatRate(write))
+	tb.AddRow("front-end fabric (3×40G payload)", units.FormatRate(3*units.FromGbps(40)*9000/9090))
+	return Result{
+		ID:     "A2",
+		Title:  "End-to-end path ceiling",
+		Tables: []metrics.Table{tb},
+		Notes: []string{
+			fmt.Sprintf("paper: write path narrowest at 94.8 Gbps; measured %.1f Gbps", units.ToGbps(write)),
+		},
+	}
+}

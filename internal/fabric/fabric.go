@@ -1,0 +1,185 @@
+// Package fabric models network links, NICs and switches connecting hosts.
+//
+// A link is full-duplex: each direction is an independent fluid resource, so
+// bi-directional transfers (Figure 11) contend only for host-side resources,
+// not for raw link bandwidth. Every link endpoint is a NIC — a DMA-capable
+// PCIe device with a NUMA home node — so traffic into a buffer on the remote
+// socket crosses the interconnect exactly as it would on real hardware.
+//
+// Propagation delay gives wide-area links their bandwidth-delay product: the
+// DOE ANI loop in the paper is a 40 Gbps RoCE path with a 95 ms RTT and a
+// BDP close to 500 MB, which starves window- or credit-limited protocols.
+package fabric
+
+import (
+	"fmt"
+
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+)
+
+// Switch is a non-blocking crossbar with an aggregate backplane capacity.
+// LAN experiments route through a switch; point-to-point links pass nil.
+type Switch struct {
+	Name      string
+	Backplane *fluid.Resource
+}
+
+// NewSwitch registers a switch with the given aggregate capacity (bytes/s).
+func NewSwitch(s *fluid.Sim, name string, capacity float64) *Switch {
+	return &Switch{Name: name, Backplane: s.AddResource(name+"/backplane", capacity)}
+}
+
+// Config describes one physical link.
+type Config struct {
+	Name string
+	// Rate is the line rate in bytes/second per direction.
+	Rate float64
+	// RTT is the round-trip propagation time.
+	RTT sim.Duration
+	// MTU and HeaderBytes determine framing efficiency: payload capacity is
+	// Rate × MTU/(MTU+HeaderBytes). Zero MTU means no framing overhead.
+	MTU         int
+	HeaderBytes int
+	// Switch, when non-nil, adds the switch backplane to both directions.
+	Switch *Switch
+}
+
+// Efficiency returns the fraction of the line rate available to payload.
+func (c Config) Efficiency() float64 {
+	if c.MTU <= 0 || c.HeaderBytes <= 0 {
+		return 1
+	}
+	return float64(c.MTU) / float64(c.MTU+c.HeaderBytes)
+}
+
+// Link is a full-duplex connection between two NICs.
+type Link struct {
+	Cfg Config
+	// A and B are the endpoint NICs (DMA devices on their hosts).
+	A, B *host.Device
+	// aToB and bToA are the directional bandwidth resources.
+	aToB, bToA *fluid.Resource
+	sim        *fluid.Sim
+	eng        *sim.Engine
+	failed     bool
+}
+
+// Connect creates a link between a NIC on host ha (PCIe slot on node na) and
+// a NIC on host hb (node nb).
+func Connect(s *fluid.Sim, cfg Config, ha *host.Host, na *numa.Node, hb *host.Host, nb *numa.Node) *Link {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("fabric: link %s needs positive rate", cfg.Name))
+	}
+	if cfg.RTT < 0 {
+		panic(fmt.Sprintf("fabric: link %s has negative RTT", cfg.Name))
+	}
+	l := &Link{
+		Cfg:  cfg,
+		A:    ha.NewDevice(cfg.Name+"/nicA", na),
+		B:    hb.NewDevice(cfg.Name+"/nicB", nb),
+		aToB: s.AddResource(cfg.Name+"/a->b", cfg.Rate),
+		bToA: s.AddResource(cfg.Name+"/b->a", cfg.Rate),
+		sim:  s,
+		eng:  s.Engine,
+	}
+	return l
+}
+
+// Dir returns the directional resource for traffic leaving the given NIC.
+// from must be one of the link's endpoints.
+func (l *Link) Dir(from *host.Device) *fluid.Resource {
+	switch from {
+	case l.A:
+		return l.aToB
+	case l.B:
+		return l.bToA
+	default:
+		panic(fmt.Sprintf("fabric: device %s is not an endpoint of %s", from.Name, l.Cfg.Name))
+	}
+}
+
+// Peer returns the NIC at the other end.
+func (l *Link) Peer(from *host.Device) *host.Device {
+	switch from {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		panic(fmt.Sprintf("fabric: device %s is not an endpoint of %s", from.Name, l.Cfg.Name))
+	}
+}
+
+// ChargeWire attaches the link's directional bandwidth (adjusted for framing
+// overhead) and the switch backplane to flow f.
+func (l *Link) ChargeWire(f *fluid.Flow, from *host.Device, coeff float64, tag string) {
+	wire := coeff / l.Cfg.Efficiency()
+	f.UseTagged(l.Dir(from), wire, tag)
+	if l.Cfg.Switch != nil {
+		f.UseTagged(l.Cfg.Switch.Backplane, wire, tag)
+	}
+}
+
+// OneWayDelay is half the configured RTT.
+func (l *Link) OneWayDelay() sim.Duration { return l.Cfg.RTT / 2 }
+
+// RTT returns the round-trip propagation time.
+func (l *Link) RTT() sim.Duration { return l.Cfg.RTT }
+
+// BDP returns the bandwidth-delay product in bytes.
+func (l *Link) BDP() float64 { return l.Cfg.Rate * float64(l.Cfg.RTT) }
+
+// MessageDelay returns propagation plus serialization time for a message of
+// size bytes (no queueing model: control messages are small).
+func (l *Link) MessageDelay(size float64) sim.Duration {
+	return l.OneWayDelay() + sim.Duration(size/l.Cfg.Rate)
+}
+
+// Send schedules fn after the one-way message delay for size bytes,
+// modelling an asynchronous control message (RFTP's control channel, iSCSI
+// command PDUs). Control messages are not charged against link bandwidth;
+// their footprint is negligible next to bulk data. Messages sent while the
+// link is failed are dropped.
+func (l *Link) Send(size float64, fn func(now sim.Time)) {
+	if l.failed {
+		return
+	}
+	l.eng.Schedule(l.MessageDelay(size), func() { fn(l.eng.Now()) })
+}
+
+// Fail injects a link failure: both directions drop to zero capacity and
+// every flow crossing the link stalls until Restore. Control messages
+// submitted while failed are silently dropped (Send becomes a no-op), as
+// on a dark fiber.
+func (l *Link) Fail() {
+	if l.failed {
+		return
+	}
+	l.failed = true
+	l.sim.SetCapacity(l.aToB, 0)
+	l.sim.SetCapacity(l.bToA, 0)
+	l.eng.Tracef("fabric", "link %s failed", l.Cfg.Name)
+}
+
+// Restore repairs a failed link; stalled flows resume at the next solve.
+func (l *Link) Restore() {
+	if !l.failed {
+		return
+	}
+	l.failed = false
+	l.sim.SetCapacity(l.aToB, l.Cfg.Rate)
+	l.sim.SetCapacity(l.bToA, l.Cfg.Rate)
+	l.eng.Tracef("fabric", "link %s restored", l.Cfg.Name)
+}
+
+// Failed reports whether the link is currently down.
+func (l *Link) Failed() bool { return l.failed }
+
+// Engine exposes the simulation engine driving this link.
+func (l *Link) Engine() *sim.Engine { return l.eng }
+
+// Sim exposes the fluid simulator this link is registered with.
+func (l *Link) Sim() *fluid.Sim { return l.sim }

@@ -1,0 +1,261 @@
+package fio
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/blockdev"
+	"e2edt/internal/fabric"
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/iscsi"
+	"e2edt/internal/iser"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	s    *fluid.Sim
+	init *host.Host
+	tgt  *host.Host
+	sess *iscsi.Session
+	tg   *iscsi.Target
+}
+
+func backendNUMA(name string) numa.Config {
+	return numa.Config{
+		Name: name, Nodes: 2, CoresPerNode: 8, CoreHz: 2.0e9,
+		MemBandwidthPerNode:        22 * units.GBps,
+		InterconnectBandwidth:      11.5 * units.GBps,
+		RemoteAccessPenalty:        1.4,
+		CoherencyWritePenalty:      8,
+		CoherencySnoopBytesPerByte: 0.3,
+		MemBytes:                   384 * units.GB,
+	}
+}
+
+func newRig(t *testing.T, policy numa.Policy, luns, threadsPerLUN int) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	hi := host.New("init", numa.MustNew(s, backendNUMA("init")))
+	ht := host.New("tgt", numa.MustNew(s, backendNUMA("tgt")))
+	mk := func(name string, n int) *fabric.Link {
+		return fabric.Connect(s, fabric.Config{
+			Name: name, Rate: units.FromGbps(56), RTT: 0.144e-3,
+			MTU: 65520, HeaderBytes: 80,
+		}, hi, hi.M.Node(n), ht, ht.M.Node(n))
+	}
+	links := []*fabric.Link{mk("ib0", 0), mk("ib1", 1)}
+	cfg := iscsi.DefaultTargetConfig(policy)
+	cfg.ThreadsPerLUN = threadsPerLUN
+	tg := iscsi.NewTarget("tgt", ht, cfg)
+	for i := 0; i < luns; i++ {
+		var homes []*numa.Node
+		if policy == numa.PolicyBind {
+			homes = []*numa.Node{ht.M.Node(i % 2)}
+		} else {
+			homes = ht.M.Nodes
+		}
+		tg.AddLUN(i, blockdev.NewRamdisk(ht.M, "lun", 50*units.GB, homes...))
+	}
+	initProc := hi.NewProcess("open-iscsi", policy, nil)
+	mv := iser.NewMover(
+		[]iser.Portal{iser.PortalFor(links[0], ht), iser.PortalFor(links[1], ht)},
+		initProc.NewThread(), tg, iser.DefaultParams())
+	return &rig{eng: eng, s: s, init: hi, tgt: ht, sess: iscsi.NewSession(tg, mv), tg: tg}
+}
+
+func (r *rig) bufFactory(policy numa.Policy) BufferFactory {
+	return func(lun, slot int) *numa.Buffer {
+		if policy == numa.PolicyBind {
+			return r.init.M.NewBuffer("fio", r.init.M.Node(lun%2))
+		}
+		return r.init.M.InterleavedBuffer("fio")
+	}
+}
+
+func runOne(t *testing.T, policy numa.Policy, op iscsi.Op, bs int64, depth int) (Result, *rig) {
+	t.Helper()
+	r := newRig(t, policy, 6, depth)
+	res, err := Run(r.eng, r.sess, r.bufFactory(policy), JobSpec{
+		Name: "job", Op: op, BlockSize: bs, IODepth: depth, Duration: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res[0], r
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []JobSpec{
+		{Name: "a", BlockSize: 0, IODepth: 1, Duration: 1},
+		{Name: "b", BlockSize: units.MB, IODepth: 0, Duration: 1},
+		{Name: "c", BlockSize: units.MB, IODepth: 1, Duration: 0},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %s should fail validation", spec.Name)
+		}
+	}
+	r := newRig(t, numa.PolicyBind, 1, 4)
+	if _, err := Run(r.eng, r.sess, nil, JobSpec{Name: "x", BlockSize: units.MB, IODepth: 1, Duration: 1}); err == nil {
+		t.Error("nil buffer factory should fail")
+	}
+	if _, err := Run(r.eng, r.sess, r.bufFactory(numa.PolicyBind), bad[0]); err == nil {
+		t.Error("invalid spec should fail Run")
+	}
+}
+
+func TestReadBandwidthPlausible(t *testing.T) {
+	res, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, 4*units.MB, 4)
+	g := units.ToGbps(res.Bandwidth())
+	// Two FDR links: 112 Gbps ceiling. Expect high utilization.
+	if g < 90 || g > 112.1 {
+		t.Fatalf("NUMA-tuned iSER read = %.1f Gbps, want ≈95–112", g)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors: %d", res.Errors)
+	}
+	if res.IOPS() <= 0 || res.AvgLatency() <= 0 || res.LatencyMax < res.AvgLatency() {
+		t.Fatalf("latency stats wrong: %+v", res)
+	}
+}
+
+func TestNUMATuningImprovesBandwidth(t *testing.T) {
+	readBind, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, 4*units.MB, 4)
+	readDef, _ := runOne(t, numa.PolicyDefault, iscsi.OpRead, 4*units.MB, 4)
+	writeBind, _ := runOne(t, numa.PolicyBind, iscsi.OpWrite, 4*units.MB, 4)
+	writeDef, _ := runOne(t, numa.PolicyDefault, iscsi.OpWrite, 4*units.MB, 4)
+
+	readGain := readBind.Bandwidth() / readDef.Bandwidth()
+	writeGain := writeBind.Bandwidth() / writeDef.Bandwidth()
+	if readGain <= 1.0 {
+		t.Fatalf("read gain = %.3f, binding should help", readGain)
+	}
+	if writeGain <= readGain {
+		t.Fatalf("write gain (%.3f) should exceed read gain (%.3f): coherency cost", writeGain, readGain)
+	}
+	// Paper: read +7.6%, write +19% — allow generous bands on shape.
+	if readGain > 1.20 {
+		t.Fatalf("read gain = %.3f, implausibly large", readGain)
+	}
+	if writeGain < 1.05 || writeGain > 1.6 {
+		t.Fatalf("write gain = %.3f, want ≈1.19", writeGain)
+	}
+}
+
+func TestReadBeatsWriteWhenTuned(t *testing.T) {
+	read, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, 4*units.MB, 4)
+	write, _ := runOne(t, numa.PolicyBind, iscsi.OpWrite, 4*units.MB, 4)
+	ratio := read.Bandwidth() / write.Bandwidth()
+	// Paper: read ≈7.5% better (RDMA WRITE vs RDMA READ).
+	if ratio < 1.02 || ratio > 1.15 {
+		t.Fatalf("read/write = %.3f, want ≈1.075", ratio)
+	}
+}
+
+func TestDefaultPolicyWriteCPUInflated(t *testing.T) {
+	_, rBind := runOne(t, numa.PolicyBind, iscsi.OpWrite, 4*units.MB, 4)
+	bindCPU := rBind.tgt.HostCPUReport().ByCategory[host.CatIO]
+	_, rDef := runOne(t, numa.PolicyDefault, iscsi.OpWrite, 4*units.MB, 4)
+	defCPU := rDef.tgt.HostCPUReport().ByCategory[host.CatIO]
+	ratio := defCPU / bindCPU
+	if ratio < 1.8 {
+		t.Fatalf("default/bind write CPU = %.2f, want ≈3 (coherency storms)", ratio)
+	}
+}
+
+func TestIODepthScaling(t *testing.T) {
+	d1, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, 4*units.MB, 1)
+	d4, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, 4*units.MB, 4)
+	if d4.Bandwidth() <= d1.Bandwidth() {
+		t.Fatalf("depth 4 (%.1f) should beat depth 1 (%.1f)",
+			units.ToGbps(d4.Bandwidth()), units.ToGbps(d1.Bandwidth()))
+	}
+	// Gains level off beyond the optimum (paper: 4 threads/LUN).
+	d16, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, 4*units.MB, 16)
+	if d16.Bandwidth() > d4.Bandwidth()*1.05 {
+		t.Fatalf("depth 16 (%.1f) should not scale past depth 4 (%.1f)",
+			units.ToGbps(d16.Bandwidth()), units.ToGbps(d4.Bandwidth()))
+	}
+}
+
+func TestBlockSizeSweepShape(t *testing.T) {
+	var prev float64
+	for _, bs := range []int64{256 * units.KB, units.MB, 4 * units.MB} {
+		res, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, bs, 4)
+		if res.Bandwidth() < prev*0.98 {
+			t.Fatalf("bandwidth regressed at bs=%s: %.1f < %.1f Gbps",
+				units.FormatBytes(bs), units.ToGbps(res.Bandwidth()), units.ToGbps(prev))
+		}
+		prev = res.Bandwidth()
+	}
+}
+
+func TestMultipleJobsConcurrently(t *testing.T) {
+	r := newRig(t, numa.PolicyBind, 6, 4)
+	res, err := Run(r.eng, r.sess, r.bufFactory(numa.PolicyBind),
+		JobSpec{Name: "r", Op: iscsi.OpRead, BlockSize: 4 * units.MB, IODepth: 2, LUNs: []int{0, 2, 4}, Duration: 3},
+		JobSpec{Name: "w", Op: iscsi.OpWrite, BlockSize: 4 * units.MB, IODepth: 2, LUNs: []int{1, 3, 5}, Duration: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, rr := range res {
+		if rr.Bandwidth() <= 0 {
+			t.Fatalf("job %s moved nothing", rr.Name)
+		}
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	r := newRig(t, numa.PolicyBind, 1, 4)
+	res, err := Run(r.eng, r.sess, r.bufFactory(numa.PolicyBind), JobSpec{
+		Name: "bad", Op: iscsi.OpRead, BlockSize: units.MB, IODepth: 2,
+		LUNs: []int{7}, Duration: 1, // LUN 7 does not exist
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Errors == 0 {
+		t.Fatal("expected errors for missing LUN")
+	}
+	if res[0].Completed != 0 {
+		t.Fatal("no commands should complete")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, units.MB, 1)
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+	var zero Result
+	if zero.Bandwidth() != 0 || zero.IOPS() != 0 || zero.AvgLatency() != 0 {
+		t.Fatal("zero result should report zeros")
+	}
+	_ = math.Inf
+}
+
+func TestLatencyHistogramPopulated(t *testing.T) {
+	res, _ := runOne(t, numa.PolicyBind, iscsi.OpRead, 4*units.MB, 4)
+	if res.Latency == nil || res.Latency.Count() == 0 {
+		t.Fatal("latency histogram missing")
+	}
+	if uint64(res.Completed) != res.Latency.Count() {
+		t.Fatalf("histogram count %d != completed %d", res.Latency.Count(), res.Completed)
+	}
+	p50, p99 := res.Latency.Quantile(0.5), res.Latency.Quantile(0.99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("quantiles wrong: p50=%v p99=%v", p50, p99)
+	}
+	if res.Latency.Max() > res.LatencyMax*1.0000001 {
+		t.Fatal("histogram max exceeds tracked max")
+	}
+}

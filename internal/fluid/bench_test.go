@@ -1,0 +1,55 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/sim"
+)
+
+// benchNetwork builds a topology similar in scale to the full LAN system:
+// ~200 resources, nFlows flows with ~12 usages each.
+func benchNetwork(nFlows int) *Network {
+	n := NewNetwork()
+	resources := make([]*Resource, 200)
+	for i := range resources {
+		resources[i] = n.AddResource("r", 1e9+float64(i))
+	}
+	for i := 0; i < nFlows; i++ {
+		f := n.NewFlow("f", math.Inf(1))
+		for j := 0; j < 12; j++ {
+			f.Use(resources[(i*13+j*17)%len(resources)], 0.2+float64(j)*0.1)
+		}
+	}
+	return n
+}
+
+func BenchmarkSolve8Flows(b *testing.B) {
+	n := benchNetwork(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Solve()
+	}
+}
+
+func BenchmarkSolve64Flows(b *testing.B) {
+	n := benchNetwork(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Solve()
+	}
+}
+
+func BenchmarkTransferChurn(b *testing.B) {
+	// Start/complete cycles exercise the event-integration hot path.
+	eng := sim.NewEngine()
+	s := NewSim(eng)
+	link := s.AddResource("link", 1e9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := s.NewFlow("f", math.Inf(1))
+		f.Use(link, 1)
+		s.Start(&Transfer{Flow: f, Remaining: 1e6})
+		eng.Run()
+	}
+}

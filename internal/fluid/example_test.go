@@ -1,0 +1,40 @@
+package fluid_test
+
+import (
+	"fmt"
+	"math"
+
+	"e2edt/internal/fluid"
+	"e2edt/internal/sim"
+)
+
+// Example shows the core modelling pattern: resources with capacities,
+// flows with per-resource coefficients, and max-min fair sharing over
+// virtual time.
+func Example() {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+
+	link := s.AddResource("link", 100) // 100 B/s
+	// A zero-copy flow crosses the link once per byte; a two-copy flow
+	// consumes twice the link capacity per payload byte.
+	zeroCopy := s.NewFlow("zero-copy", math.Inf(1))
+	zeroCopy.Use(link, 1)
+	twoCopy := s.NewFlow("two-copy", math.Inf(1))
+	twoCopy.Use(link, 2)
+
+	s.Start(&fluid.Transfer{Flow: zeroCopy, Remaining: 100, OnComplete: func(now sim.Time) {
+		fmt.Printf("zero-copy done at t=%.2fs\n", float64(now))
+	}})
+	s.Start(&fluid.Transfer{Flow: twoCopy, Remaining: 100, OnComplete: func(now sim.Time) {
+		fmt.Printf("two-copy done at t=%.2fs\n", float64(now))
+	}})
+	eng.Run()
+
+	// Max-min fairness on rates: both flows run at 33.3 B/s (the two-copy
+	// flow loads the link at 66.6 B/s), so the zero-copy transfer finishes
+	// first; the two-copy flow then speeds up to 50 B/s.
+	// Output:
+	// zero-copy done at t=3.00s
+	// two-copy done at t=4.00s
+}

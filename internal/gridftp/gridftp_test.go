@@ -1,0 +1,164 @@
+package gridftp
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/numa"
+	"e2edt/internal/pipe"
+	"e2edt/internal/sim"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Streams: 0, BlockSize: units.MB},
+		{Streams: 1, BlockSize: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	if _, err := Start(nil, p.A, DefaultConfig(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil); err == nil {
+		t.Error("no links should fail")
+	}
+	if _, err := Start(p.Links, p.A, Config{}, pipe.Zero{}, pipe.Null{}, math.Inf(1), nil); err == nil {
+		t.Error("bad config should fail")
+	}
+	if _, err := Start(p.Links, p.A, DefaultConfig(), pipe.Zero{}, pipe.Null{}, 0, nil); err == nil {
+		t.Error("zero size should fail")
+	}
+	w := testbed.NewWAN()
+	if _, err := Start(p.Links, w.A, DefaultConfig(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil); err == nil {
+		t.Error("foreign sender should fail")
+	}
+}
+
+func TestMemoryToMemoryThroughput(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	tr, err := Start(p.Links, p.A, DefaultConfig(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunFor(10)
+	g := units.ToGbps(tr.Transferred() / 10)
+	// TCP stack costs cap GridFTP far below the 120 Gbps fabric.
+	if g < 15 || g > 60 {
+		t.Fatalf("GridFTP mem-to-mem = %.1f Gbps, want CPU-capped 20–60", g)
+	}
+	tr.Stop()
+}
+
+func TestFiniteTransferCompletes(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	var doneAt sim.Time
+	size := 4 * float64(units.GB)
+	tr, err := Start(p.Links, p.A, DefaultConfig(), pipe.Zero{}, pipe.Null{}, size,
+		func(now sim.Time) { doneAt = now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.Run()
+	if doneAt <= 0 {
+		t.Fatal("never completed")
+	}
+	if got := tr.Transferred(); math.Abs(got-size)/size > 1e-6 {
+		t.Fatalf("transferred %v of %v", got, size)
+	}
+	if tr.Finished() != doneAt || tr.Bandwidth() <= 0 {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestSlowerThanLineRate(t *testing.T) {
+	// One stream on one 40G link: single-threaded + copies keep it far
+	// under the link.
+	p := testbed.NewMotivatingPair()
+	cfg := DefaultConfig()
+	cfg.Streams = 1
+	tr, err := Start(p.Links[:1], p.A, cfg, pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunFor(5)
+	g := units.ToGbps(tr.Transferred() / 5)
+	if g >= 40 {
+		t.Fatalf("GridFTP single stream = %.1f Gbps, should be CPU-bound below 40", g)
+	}
+	tr.Stop()
+}
+
+func TestStreamsScaleSublinearly(t *testing.T) {
+	run := func(streams int) float64 {
+		p := testbed.NewMotivatingPair()
+		cfg := DefaultConfig()
+		cfg.Streams = streams
+		tr, err := Start(p.Links, p.A, cfg, pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Eng.RunFor(5)
+		defer tr.Stop()
+		return tr.Transferred() / 5
+	}
+	one := run(1)
+	three := run(3)
+	if three <= one {
+		t.Fatal("parallel streams should help")
+	}
+	if three > 3.2*one {
+		t.Fatalf("3 streams (%v) scaled superlinearly vs 1 (%v)", three, one)
+	}
+}
+
+func TestHighSysCPUProfile(t *testing.T) {
+	// Figure 10: GridFTP's profile is dominated by sys+copy.
+	p := testbed.NewMotivatingPair()
+	tr, err := Start(p.Links, p.A, DefaultConfig(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunFor(10)
+	tr.Stop()
+	rep := p.A.HostCPUReport()
+	kernel := rep.ByCategory["sys"] + rep.ByCategory["copy"] + rep.ByCategory["irq"]
+	if kernel/rep.Total < 0.6 {
+		t.Fatalf("kernel share = %.2f, GridFTP should be kernel-dominated", kernel/rep.Total)
+	}
+}
+
+func TestUnpinnedPolicy(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	cfg := DefaultConfig()
+	cfg.Policy = numa.PolicyDefault
+	tr, err := Start(p.Links, p.A, cfg, pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunFor(5)
+	if tr.Transferred() <= 0 {
+		t.Fatal("unpinned GridFTP moved nothing")
+	}
+	tr.Stop()
+}
+
+func TestStop(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	tr, _ := Start(p.Links, p.A, DefaultConfig(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	p.Eng.RunFor(1)
+	tr.Stop()
+	moved := tr.Transferred()
+	p.Eng.RunFor(1)
+	if tr.Transferred() != moved {
+		t.Fatal("still moving after Stop")
+	}
+}

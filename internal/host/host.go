@@ -1,0 +1,340 @@
+// Package host models the software side of a NUMA machine: processes,
+// threads, thread placement (numactl-style binding versus the default
+// scheduler), CPU cycle accounting, and DMA-capable devices.
+//
+// CPU consumption is expressed in core-seconds: "122% CPU" in the paper
+// means 1.22 core-seconds consumed per second of wall time. A thread charges
+// cycles-per-byte coefficients onto the fluid flow that carries its data;
+// utilization reports then fall out of the fluid simulator's usage
+// accounting.
+package host
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"e2edt/internal/fluid"
+	"e2edt/internal/numa"
+)
+
+// CPU accounting categories, mirroring the breakdown in Figures 4, 10, 12.
+const (
+	CatUser = "user" // user-space protocol processing
+	CatSys  = "sys"  // kernel protocol processing
+	CatCopy = "copy" // user↔kernel data copies
+	CatIRQ  = "irq"  // interrupt handling
+	CatIO   = "io"   // file/storage I/O processing
+	CatLoad = "load" // data loading (e.g. /dev/zero fill) — Figure 3/4
+)
+
+// Host is one machine: a NUMA hardware model plus processes and devices.
+type Host struct {
+	Name string
+	M    *numa.Machine
+	Sim  *fluid.Sim
+
+	processes []*Process
+	devices   []*Device
+	// physCores identifies this host's physical core resources, so that
+	// CPU accounting can exclude per-thread virtual limiter resources.
+	physCores map[*fluid.Resource]bool
+	nextCore  []int // per-node round-robin pin counter
+	nextNode  int   // round-robin node assignment for bound processes
+}
+
+// New wraps a NUMA machine in a host.
+func New(name string, m *numa.Machine) *Host {
+	h := &Host{
+		Name:      name,
+		M:         m,
+		Sim:       m.Sim,
+		physCores: make(map[*fluid.Resource]bool),
+		nextCore:  make([]int, len(m.Nodes)),
+	}
+	for _, n := range m.Nodes {
+		for _, c := range n.Cores {
+			h.physCores[c.Res] = true
+		}
+	}
+	return h
+}
+
+// Process is a named group of threads sharing a placement policy.
+type Process struct {
+	Host   *Host
+	Name   string
+	Policy numa.Policy
+	// Node is the bound node under PolicyBind (nil otherwise).
+	Node    *numa.Node
+	Threads []*Thread
+}
+
+// NewProcess creates a process. Under PolicyBind with a nil node, nodes are
+// assigned round-robin (one target process per node, as the paper's
+// numactl-per-node setup does).
+func (h *Host) NewProcess(name string, policy numa.Policy, node *numa.Node) *Process {
+	if policy == numa.PolicyBind && node == nil {
+		node = h.M.Nodes[h.nextNode%len(h.M.Nodes)]
+		h.nextNode++
+	}
+	p := &Process{Host: h, Name: name, Policy: policy, Node: node}
+	h.processes = append(h.processes, p)
+	return p
+}
+
+// Processes returns the host's processes.
+func (h *Host) Processes() []*Process { return h.processes }
+
+// Thread is a schedulable execution context. A bound thread is pinned to a
+// specific core; an unbound thread migrates across all cores (charged as a
+// uniform spread) but can still use at most one core's worth of cycles,
+// enforced through a virtual limiter resource.
+type Thread struct {
+	Proc *Process
+	ID   int
+	// Core is the pinned core, nil when unbound.
+	Core *numa.Core
+	// limiter caps the thread at 1 core-second/second.
+	limiter *fluid.Resource
+}
+
+// NewThread adds a thread to the process. Bound processes pin threads
+// round-robin over the bound node's cores.
+func (p *Process) NewThread() *Thread {
+	h := p.Host
+	t := &Thread{Proc: p, ID: len(p.Threads)}
+	t.limiter = h.Sim.AddResource(
+		fmt.Sprintf("%s/%s/t%d/limit", h.Name, p.Name, t.ID), 1)
+	if p.Policy == numa.PolicyBind && p.Node != nil {
+		idx := h.nextCore[p.Node.ID] % len(p.Node.Cores)
+		h.nextCore[p.Node.ID]++
+		t.Core = p.Node.Cores[idx]
+	}
+	p.Threads = append(p.Threads, t)
+	return t
+}
+
+// Node returns the node the thread executes on, nil when unbound.
+func (t *Thread) Node() *numa.Node {
+	if t.Core != nil {
+		return t.Core.Node
+	}
+	if t.Proc.Policy == numa.PolicyBind {
+		return t.Proc.Node
+	}
+	return nil
+}
+
+// tag composes the accounting tag "process:category".
+func (p *Process) tag(category string) string { return p.Name + ":" + category }
+
+// ChargeCPU attaches cyclesPerByte of CPU work in the given category to
+// flow f. The work lands on the thread's pinned core, or is spread across
+// every core for an unbound thread; either way the per-thread limiter caps
+// the flow at one core's throughput for this work component.
+func (t *Thread) ChargeCPU(f *fluid.Flow, cyclesPerByte float64, category string) {
+	if cyclesPerByte <= 0 {
+		return
+	}
+	h := t.Proc.Host
+	coeff := cyclesPerByte / h.M.Cfg.CoreHz // core-seconds per byte
+	tag := t.Proc.tag(category)
+	f.UseTagged(t.limiter, coeff, "limiter")
+	if t.Core != nil {
+		f.UseTagged(t.Core.Res, coeff, tag)
+		return
+	}
+	cores := 0
+	for _, n := range h.M.Nodes {
+		cores += len(n.Cores)
+	}
+	per := coeff / float64(cores)
+	for _, n := range h.M.Nodes {
+		for _, c := range n.Cores {
+			f.UseTagged(c.Res, per, tag)
+		}
+	}
+}
+
+// MemoryPenalty returns the CPU multiplier for work over operands in buf:
+// 1.0 when all accesses are local, rising with the remote fraction, and —
+// for writes to memory observed by other nodes — with the coherency
+// penalty.
+func (t *Thread) MemoryPenalty(buf *numa.Buffer, write bool) float64 {
+	m := t.Proc.Host.M
+	remote := m.RemoteShare(buf, t.Node())
+	p := 1 + (m.Cfg.RemoteAccessPenalty-1)*remote
+	if write {
+		p += (m.Cfg.CoherencyWritePenalty - 1) * remote
+	}
+	return p
+}
+
+// ChargeMemory attaches memory-controller and interconnect charges for this
+// thread touching buf.
+func (t *Thread) ChargeMemory(f *fluid.Flow, buf *numa.Buffer, bytesPerUnit float64, write bool, category string) {
+	t.ChargeMemoryScaled(f, buf, bytesPerUnit, write, 1, category)
+}
+
+// ChargeMemoryScaled is ChargeMemory with a memory-controller discount for
+// cache-resident buffers (see numa.Access.MemScale).
+func (t *Thread) ChargeMemoryScaled(f *fluid.Flow, buf *numa.Buffer, bytesPerUnit float64, write bool, memScale float64, category string) {
+	t.Proc.Host.M.Charge(f, numa.Access{
+		Buffer:       buf,
+		From:         t.Node(),
+		BytesPerUnit: bytesPerUnit,
+		Write:        write,
+		MemScale:     memScale,
+		Tag:          t.Proc.tag(category),
+	})
+}
+
+// ChargeCopy models memcpy-style data movement: read src, write dst, plus
+// CPU cycles (already penalty-adjusted for the placement of both buffers).
+func (t *Thread) ChargeCopy(f *fluid.Flow, src, dst *numa.Buffer, bytesPerUnit, cyclesPerByte float64, category string) {
+	t.ChargeMemory(f, src, bytesPerUnit, false, category)
+	t.ChargeMemory(f, dst, bytesPerUnit, true, category)
+	penalty := (t.MemoryPenalty(src, false) + t.MemoryPenalty(dst, true)) / 2
+	t.ChargeCPU(f, cyclesPerByte*bytesPerUnit*penalty, category)
+}
+
+// Device is a DMA-capable PCIe device (NIC, HBA) with a home node. DMA
+// consumes memory and interconnect bandwidth but no CPU.
+type Device struct {
+	Host *Host
+	Name string
+	Node *numa.Node
+}
+
+// NewDevice registers a device on the given node.
+func (h *Host) NewDevice(name string, node *numa.Node) *Device {
+	if node == nil {
+		panic("host: device needs a home node")
+	}
+	d := &Device{Host: h, Name: name, Node: node}
+	h.devices = append(h.devices, d)
+	return d
+}
+
+// Devices returns the host's registered devices.
+func (h *Host) Devices() []*Device { return h.devices }
+
+// ChargeDMA attaches DMA traffic between the device and buf to flow f.
+// write=true means the device writes into memory (receive path).
+func (d *Device) ChargeDMA(f *fluid.Flow, buf *numa.Buffer, bytesPerUnit float64, write bool, tag string) {
+	d.ChargeDMAScaled(f, buf, bytesPerUnit, write, 1, tag)
+}
+
+// ChargeDMAScaled is ChargeDMA with a memory-controller discount for
+// cache-resident buffers (DDIO: NIC DMA served from the last-level cache).
+func (d *Device) ChargeDMAScaled(f *fluid.Flow, buf *numa.Buffer, bytesPerUnit float64, write bool, memScale float64, tag string) {
+	d.Host.M.Charge(f, numa.Access{
+		Buffer:       buf,
+		From:         d.Node,
+		BytesPerUnit: bytesPerUnit,
+		Write:        write,
+		MemScale:     memScale,
+		Tag:          tag,
+	})
+}
+
+// CPUUsage returns core-seconds consumed on this host's physical cores,
+// keyed by "process:category" tag, as accumulated by the fluid simulator.
+func (h *Host) CPUUsage() map[string]float64 {
+	h.Sim.Sync()
+	return h.Sim.UsageByTag(func(r *fluid.Resource) bool { return h.physCores[r] })
+}
+
+// CPUReport summarizes consumption per category (core-seconds).
+type CPUReport struct {
+	// ByCategory maps category (user/sys/copy/irq/io) to core-seconds.
+	ByCategory map[string]float64
+	// Total is the sum over categories.
+	Total float64
+}
+
+// Percent returns a category's average utilization over elapsed seconds, in
+// percent of one core (the paper's "122% CPU" convention).
+func (r CPUReport) Percent(category string, elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.ByCategory[category] / elapsed * 100
+}
+
+// TotalPercent returns total utilization in percent-of-one-core.
+func (r CPUReport) TotalPercent(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.Total / elapsed * 100
+}
+
+// String renders categories sorted by descending consumption.
+func (r CPUReport) String() string {
+	type kv struct {
+		k string
+		v float64
+	}
+	var items []kv
+	for k, v := range r.ByCategory {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].v != items[j].v {
+			return items[i].v > items[j].v
+		}
+		return items[i].k < items[j].k
+	})
+	var b strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.2fs", it.k, it.v)
+	}
+	return b.String()
+}
+
+// sortedTags returns the map's keys in sorted order, so category sums
+// accumulate deterministically (map iteration order would perturb the
+// last float bit between otherwise identical runs).
+func sortedTags(m map[string]float64) []string {
+	tags := make([]string, 0, len(m))
+	for t := range m {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// CPUReport aggregates usage for one process across categories.
+func (p *Process) CPUReport() CPUReport {
+	rep := CPUReport{ByCategory: make(map[string]float64)}
+	usage := p.Host.CPUUsage()
+	prefix := p.Name + ":"
+	for _, tag := range sortedTags(usage) {
+		if strings.HasPrefix(tag, prefix) {
+			cat := strings.TrimPrefix(tag, prefix)
+			rep.ByCategory[cat] += usage[tag]
+			rep.Total += usage[tag]
+		}
+	}
+	return rep
+}
+
+// HostCPUReport aggregates usage for all processes on the host by category.
+func (h *Host) HostCPUReport() CPUReport {
+	rep := CPUReport{ByCategory: make(map[string]float64)}
+	usage := h.CPUUsage()
+	for _, tag := range sortedTags(usage) {
+		cat := tag
+		if i := strings.LastIndex(tag, ":"); i >= 0 {
+			cat = tag[i+1:]
+		}
+		rep.ByCategory[cat] += usage[tag]
+		rep.Total += usage[tag]
+	}
+	return rep
+}

@@ -1,0 +1,139 @@
+package iperf
+
+import (
+	"testing"
+
+	"e2edt/internal/numa"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+func TestMotivatingExperimentShape(t *testing.T) {
+	// §2.3: bi-directional, 3×40G RoCE, large buffers. Default scheduling
+	// ≈83.5 Gbps aggregate; NUMA binding ≈91.8 Gbps (~10% better).
+	run := func(policy numa.Policy) float64 {
+		p := testbed.NewMotivatingPair()
+		cfg := DefaultConfig()
+		cfg.Policy = policy
+		rep := Run(p.Links, cfg)
+		return units.ToGbps(rep.Aggregate)
+	}
+	def := run(numa.PolicyDefault)
+	bind := run(numa.PolicyBind)
+	if def < 70 || def > 95 {
+		t.Fatalf("default aggregate = %.1f Gbps, want ≈83.5", def)
+	}
+	if bind < 83 || bind > 105 {
+		t.Fatalf("bound aggregate = %.1f Gbps, want ≈91.8", bind)
+	}
+	gain := bind / def
+	if gain < 1.04 || gain > 1.20 {
+		t.Fatalf("NUMA gain = %.3f, want ≈1.10", gain)
+	}
+}
+
+func TestUnidirectionalHalvesAggregate(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	cfg := DefaultConfig()
+	cfg.Bidirectional = false
+	cfg.Policy = numa.PolicyBind
+	rep := Run(p.Links, cfg)
+	if len(rep.PerStream) != 3 {
+		t.Fatalf("streams = %d, want 3 (one per link)", len(rep.PerStream))
+	}
+	uni := units.ToGbps(rep.Aggregate)
+	p2 := testbed.NewMotivatingPair()
+	cfg.Bidirectional = true
+	rep2 := Run(p2.Links, cfg)
+	bidi := units.ToGbps(rep2.Aggregate)
+	if bidi < uni*1.5 {
+		t.Fatalf("bidirectional (%.1f) should nearly double unidirectional (%.1f)", bidi, uni)
+	}
+}
+
+func TestCacheResidentFasterThanLargeBuffer(t *testing.T) {
+	// iperf default (small reused buffer, cache-resident) avoids a memory
+	// read per byte and can run faster when memory-bound; at minimum it
+	// must not be slower.
+	run := func(large bool) float64 {
+		p := testbed.NewMotivatingPair()
+		cfg := DefaultConfig()
+		cfg.Policy = numa.PolicyBind
+		cfg.LargeBuffer = large
+		return Run(p.Links, cfg).Aggregate
+	}
+	cached := run(false)
+	large := run(true)
+	if cached < large {
+		t.Fatalf("cache-resident (%v) should be ≥ large-buffer (%v)", cached, large)
+	}
+}
+
+func TestCopyDominatesCPUProfile(t *testing.T) {
+	// §2.3: copy_user_generic_string ≈35% of CPU under the default
+	// scheduler. Check copy is a significant share of total CPU.
+	p := testbed.NewMotivatingPair()
+	cfg := DefaultConfig()
+	rep := Run(p.Links, cfg)
+	_ = rep
+	cpu := p.A.HostCPUReport()
+	if cpu.Total <= 0 {
+		t.Fatal("no CPU recorded")
+	}
+	copyShare := cpu.ByCategory["copy"] / cpu.Total
+	if copyShare < 0.2 || copyShare > 0.55 {
+		t.Fatalf("copy share = %.2f, want ≈0.35", copyShare)
+	}
+}
+
+func TestSourceCyclesCharged(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	cfg := DefaultConfig()
+	cfg.Policy = numa.PolicyBind
+	cfg.Bidirectional = false
+	cfg.SourceCyclesPerByte = 0.32
+	rep := Run(p.Links[:1], cfg)
+	if rep.Aggregate <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Zero-fill cost appears as extra sys time on the sender.
+	cpu := p.A.HostCPUReport()
+	if cpu.ByCategory["load"] <= 0 {
+		t.Fatal("source cycles not charged")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	cases := []func(){
+		func() { Run(nil, DefaultConfig()) },
+		func() {
+			c := DefaultConfig()
+			c.StreamsPerLink = 0
+			Run(p.Links, c)
+		},
+		func() {
+			c := DefaultConfig()
+			c.Duration = 0
+			Run(p.Links, c)
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRunLeavesNoActiveTransfers(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	Run(p.Links, DefaultConfig())
+	if n := p.Sim.ActiveTransfers(); n != 0 {
+		t.Fatalf("%d transfers leaked", n)
+	}
+}

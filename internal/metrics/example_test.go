@@ -1,0 +1,20 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"e2edt/internal/metrics"
+)
+
+// ExampleHistogram shows latency quantile tracking with logarithmic
+// buckets, as used for per-command latency in the fio harness.
+func ExampleHistogram() {
+	h := metrics.NewHistogram(1e-6)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e-3) // 1ms … 100ms
+	}
+	fmt.Printf("n=%d mean=%.1fms p99≈%.0fms max=%.0fms\n",
+		h.Count(), h.Mean()*1e3, h.Quantile(0.99)*1e3, h.Max()*1e3)
+	// Output:
+	// n=100 mean=50.5ms p99≈100ms max=100ms
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram collects samples into logarithmic buckets for quantile
+// estimation — used for per-command latency distributions in the fio
+// harness. Buckets grow by a fixed ratio from a minimum resolution, so
+// memory stays constant regardless of sample count while relative error
+// stays bounded by the growth ratio.
+type Histogram struct {
+	// unit is the smallest distinguishable value (bucket 0's upper edge).
+	unit float64
+	// growth is the bucket edge ratio (> 1).
+	growth float64
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram with the given resolution (smallest
+// meaningful value) and 5% default bucket growth.
+func NewHistogram(resolution float64) *Histogram {
+	if resolution <= 0 {
+		panic("metrics: histogram resolution must be positive")
+	}
+	return &Histogram{
+		unit:   resolution,
+		growth: 1.05,
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// bucketFor maps a value to its bucket index.
+func (h *Histogram) bucketFor(v float64) int {
+	if v <= h.unit {
+		return 0
+	}
+	return 1 + int(math.Log(v/h.unit)/math.Log(h.growth))
+}
+
+// edge returns the upper edge of bucket i.
+func (h *Histogram) edge(i int) float64 {
+	if i == 0 {
+		return h.unit
+	}
+	return h.unit * math.Pow(h.growth, float64(i))
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	i := h.bucketFor(v)
+	for len(h.counts) <= i {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	h.min = math.Min(h.min, v)
+	h.max = math.Max(h.max, v)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min and Max return the extreme samples (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the value at quantile q ∈ [0,1], with bucket-resolution
+// accuracy. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		if acc >= target {
+			e := h.edge(i)
+			// Clamp to observed extremes for tighter small-sample answers.
+			return math.Min(math.Max(e, h.min), h.max)
+		}
+	}
+	return h.Max()
+}
+
+// Summary renders "p50/p95/p99 min/mean/max" in the given unit scale.
+func (h *Histogram) Summary(scale float64, unit string) string {
+	if h.total == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("p50=%.3g%s p95=%.3g%s p99=%.3g%s min=%.3g%s mean=%.3g%s max=%.3g%s n=%d",
+		h.Quantile(0.50)*scale, unit,
+		h.Quantile(0.95)*scale, unit,
+		h.Quantile(0.99)*scale, unit,
+		h.Min()*scale, unit, h.Mean()*scale, unit, h.Max()*scale, unit, h.total)
+}
+
+// Merge adds other's samples into h. Both histograms must share the same
+// resolution and growth (they do when created by NewHistogram with the
+// same resolution).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if other.unit != h.unit || other.growth != h.growth {
+		panic("metrics: merging incompatible histograms")
+	}
+	for len(h.counts) < len(other.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.min = math.Min(h.min, other.min)
+	h.max = math.Max(h.max, other.max)
+}
+
+// Buckets renders a compact text distribution (for debugging), listing
+// non-empty buckets sorted by edge.
+func (h *Histogram) Buckets() string {
+	var parts []string
+	for i, c := range h.counts {
+		if c > 0 {
+			parts = append(parts, fmt.Sprintf("≤%.3g:%d", h.edge(i), c))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1e-6)
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	if h.Summary(1, "s") != "no samples" {
+		t.Fatal("empty summary wrong")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram(1e-6)
+	rng := rand.New(rand.NewSource(7))
+	var values []float64
+	for i := 0; i < 20000; i++ {
+		v := rng.ExpFloat64() * 0.01 // exponential latencies ~10ms
+		values = append(values, v)
+		h.Observe(v)
+	}
+	// Compare against exact quantiles within the 5% bucket growth plus
+	// sampling slack.
+	exact := func(q float64) float64 {
+		cp := append([]float64(nil), values...)
+		for i := range cp {
+			for j := i + 1; j < len(cp); j++ {
+				if cp[j] < cp[i] {
+					cp[i], cp[j] = cp[j], cp[i]
+				}
+			}
+			if float64(i) >= q*float64(len(cp)) {
+				return cp[i]
+			}
+		}
+		return cp[len(cp)-1]
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got, want := h.Quantile(q), exact(q)
+		if math.Abs(got-want)/want > 0.10 {
+			t.Fatalf("q%v: got %v, want ≈%v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		h := NewHistogram(1e-6)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			h.Observe(rng.Float64())
+		}
+		prev := 0.0
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(0) == h.Min() && h.Quantile(1) == h.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative sample not clamped: %v", h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(1e-3), NewHistogram(1e-3)
+	for i := 1; i <= 10; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 11; i <= 20; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 20 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 20 || a.Min() != 1 {
+		t.Fatal("merged extremes wrong")
+	}
+	if med := a.Quantile(0.5); med < 9 || med > 12 {
+		t.Fatalf("merged median = %v", med)
+	}
+	a.Merge(nil) // no-op
+	a.Merge(NewHistogram(1e-3))
+}
+
+func TestHistogramMergeIncompatiblePanics(t *testing.T) {
+	a, b := NewHistogram(1e-3), NewHistogram(1e-6)
+	b.Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestHistogramInvalidResolutionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestHistogramSummaryAndBuckets(t *testing.T) {
+	h := NewHistogram(1e-3)
+	h.Observe(0.05)
+	h.Observe(0.10)
+	if s := h.Summary(1e3, "ms"); s == "" || s == "no samples" {
+		t.Fatalf("summary = %q", s)
+	}
+	if h.Buckets() == "" {
+		t.Fatal("buckets empty")
+	}
+}

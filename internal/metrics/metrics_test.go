@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"e2edt/internal/sim"
+)
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for i, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(float64(i), v)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Stddev(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("Stddev = %v", got)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty min/max should be ±Inf")
+	}
+	if s.Stddev() != 0 {
+		t.Fatal("empty stddev should be 0")
+	}
+	if s.TailMean(0.5) != 0 {
+		t.Fatal("empty tail mean should be 0")
+	}
+}
+
+func TestTailMean(t *testing.T) {
+	var s Series
+	// Warm-up of zeros then steady 10s.
+	for i := 0; i < 5; i++ {
+		s.Add(float64(i), 0)
+	}
+	for i := 5; i < 10; i++ {
+		s.Add(float64(i), 10)
+	}
+	if got := s.TailMean(0.5); got != 10 {
+		t.Fatalf("TailMean(0.5) = %v, want 10", got)
+	}
+	if got := s.TailMean(1); got != 5 {
+		t.Fatalf("TailMean(1) = %v, want 5", got)
+	}
+	if got := s.TailMean(0); got != s.Mean() {
+		t.Fatal("invalid fraction should fall back to Mean")
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	eng := sim.NewEngine()
+	bytes := 0.0
+	// Simulated producer: 100 units/s in steps.
+	eng.NewTicker(0.1, func(sim.Time) { bytes += 10 })
+	s := NewSampler(eng, "tput", 1, func() float64 { return bytes })
+	eng.RunUntil(10)
+	s.Stop()
+	if s.Series.Len() != 10 {
+		t.Fatalf("samples = %d, want 10", s.Series.Len())
+	}
+	// Producer ticks can land exactly on sample boundaries, so individual
+	// samples may be off by one 10-unit step; the aggregate must balance.
+	sum := 0.0
+	for i, v := range s.Series.Values {
+		if math.Abs(v-100) > 10+1e-9 {
+			t.Fatalf("sample %d = %v, want 100±10", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1000) > 10+1e-9 {
+		t.Fatalf("integrated volume = %v, want ≈1000", sum)
+	}
+}
+
+func TestSamplerStops(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSampler(eng, "x", 1, func() float64 { return 0 })
+	eng.RunUntil(3)
+	s.Stop()
+	n := s.Series.Len()
+	eng.RunUntil(10)
+	if s.Series.Len() != n {
+		t.Fatal("sampler kept sampling after Stop")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "Figure X", Headers: []string{"block", "Gbps"}}
+	tb.AddRow("4MB", "39.1")
+	tb.AddRow("64KB", "12.0")
+	out := tb.String()
+	if !strings.Contains(out, "Figure X") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "block") || !strings.Contains(out, "Gbps") {
+		t.Fatal("missing headers")
+	}
+	if !strings.Contains(out, "4MB") || !strings.Contains(out, "12.0") {
+		t.Fatal("missing cells")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := Table{Headers: []string{"a", "b", "c"}}
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatal("row not padded to header width")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]float64{"z": 1, "a": 2, "m": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "m" || keys[2] != "z" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{Title: "T", Headers: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	out := tb.Markdown()
+	if !strings.Contains(out, "**T**") {
+		t.Fatal("missing bold title")
+	}
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("markdown header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1 | 2 |") {
+		t.Fatalf("markdown row wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,242 @@
+package rdma
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/fabric"
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	s    *fluid.Sim
+	ha   *host.Host
+	hb   *host.Host
+	link *fabric.Link
+	qp   *QP
+}
+
+func newRig(t *testing.T, linkCfg fabric.Config, p Params) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	cfg := numa.Config{
+		Name: "m", Nodes: 2, CoresPerNode: 8, CoreHz: 2.2e9,
+		MemBandwidthPerNode:   25 * units.GBps,
+		InterconnectBandwidth: 16 * units.GBps,
+		RemoteAccessPenalty:   1.4, CoherencyWritePenalty: 3,
+	}
+	ca, cb := cfg, cfg
+	ca.Name, cb.Name = "A", "B"
+	ha := host.New("A", numa.MustNew(s, ca))
+	hb := host.New("B", numa.MustNew(s, cb))
+	l := fabric.Connect(s, linkCfg, ha, ha.M.Node(0), hb, hb.M.Node(0))
+	return &rig{eng: eng, s: s, ha: ha, hb: hb, link: l, qp: NewQP(l, p)}
+}
+
+func lanCfg() fabric.Config {
+	return fabric.Config{Name: "roce", Rate: units.FromGbps(40), RTT: 0.166e-3}
+}
+
+func TestWriteMovesDataAtLineRate(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	src := r.ha.M.NewBuffer("src", r.ha.M.Node(0))
+	dst := r.hb.M.NewBuffer("dst", r.hb.M.Node(0))
+	lmr := r.qp.RegisterMR("src", r.link.A, src)
+	rmr := r.qp.RegisterMR("dst", r.link.B, dst)
+	size := float64(1 * units.GB)
+	var doneAt sim.Time
+	r.qp.Write(lmr, rmr, size, "data", func(now sim.Time) { doneAt = now })
+	r.eng.Run()
+	if doneAt == 0 {
+		t.Fatal("write never completed")
+	}
+	// Expected: opLatency + size/5GB/s + one-way delay ≈ 0.2148s.
+	want := 5e-6 + size/units.FromGbps(40) + 0.166e-3/2
+	if math.Abs(float64(doneAt)-want) > 1e-6 {
+		t.Fatalf("completed at %v, want %v", doneAt, want)
+	}
+	if r.qp.Posted != 1 || r.qp.Completed != 1 {
+		t.Fatalf("posted/completed = %d/%d", r.qp.Posted, r.qp.Completed)
+	}
+}
+
+func TestWriteConsumesNoCPU(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	src := r.ha.M.NewBuffer("src", r.ha.M.Node(0))
+	dst := r.hb.M.NewBuffer("dst", r.hb.M.Node(0))
+	lmr := r.qp.RegisterMR("src", r.link.A, src)
+	rmr := r.qp.RegisterMR("dst", r.link.B, dst)
+	r.qp.Write(lmr, rmr, float64(units.GB), "data", nil)
+	r.eng.Run()
+	if got := r.ha.HostCPUReport().Total; got != 0 {
+		t.Fatalf("sender CPU = %v, want 0 (zero-copy DMA)", got)
+	}
+	if got := r.hb.HostCPUReport().Total; got != 0 {
+		t.Fatalf("receiver CPU = %v, want 0", got)
+	}
+}
+
+func TestReadSlowerThanWrite(t *testing.T) {
+	size := float64(4 * units.GB)
+	run := func(read bool) sim.Time {
+		r := newRig(t, lanCfg(), DefaultParams())
+		a := r.ha.M.NewBuffer("a", r.ha.M.Node(0))
+		b := r.hb.M.NewBuffer("b", r.hb.M.Node(0))
+		amr := r.qp.RegisterMR("a", r.link.A, a)
+		bmr := r.qp.RegisterMR("b", r.link.B, b)
+		var done sim.Time
+		if read {
+			r.qp.Read(amr, bmr, size, "data", func(now sim.Time) { done = now })
+		} else {
+			r.qp.Write(amr, bmr, size, "data", func(now sim.Time) { done = now })
+		}
+		r.eng.Run()
+		return done
+	}
+	tw := run(false)
+	tr := run(true)
+	if tr <= tw {
+		t.Fatalf("read (%v) should be slower than write (%v)", tr, tw)
+	}
+	ratio := float64(tr) / float64(tw)
+	if ratio < 1.05 || ratio > 1.11 {
+		t.Fatalf("read/write time ratio = %v, want ≈1.075", ratio)
+	}
+}
+
+func TestSendDeliversAfterDelay(t *testing.T) {
+	r := newRig(t, fabric.Config{Name: "l", Rate: 1000, RTT: 0.2}, DefaultParams())
+	var at sim.Time
+	r.qp.Send(100, func(now sim.Time) { at = now })
+	r.eng.Run()
+	// opLatency 5μs + one-way 0.1 + serialization 0.1.
+	want := 5e-6 + 0.1 + 0.1
+	if math.Abs(float64(at)-want) > 1e-9 {
+		t.Fatalf("send delivered at %v, want %v", at, want)
+	}
+}
+
+func TestSendDefaultSize(t *testing.T) {
+	p := DefaultParams()
+	r := newRig(t, fabric.Config{Name: "l", Rate: 1000, RTT: 0}, p)
+	var at sim.Time
+	r.qp.Send(0, func(now sim.Time) { at = now })
+	r.eng.Run()
+	want := float64(p.OpLatency) + p.ControlBytes/1000
+	if math.Abs(float64(at)-want) > 1e-9 {
+		t.Fatalf("default-size send at %v, want %v", at, want)
+	}
+}
+
+func TestPipelinedWritesSaturateLink(t *testing.T) {
+	// Many outstanding writes: aggregate throughput = line rate even
+	// though each op pays latency.
+	r := newRig(t, lanCfg(), DefaultParams())
+	src := r.ha.M.NewBuffer("src", r.ha.M.Node(0))
+	dst := r.hb.M.NewBuffer("dst", r.hb.M.Node(0))
+	lmr := r.qp.RegisterMR("src", r.link.A, src)
+	rmr := r.qp.RegisterMR("dst", r.link.B, dst)
+	block := float64(4 * units.MB)
+	var completed int
+	var issue func()
+	outstanding := 8
+	total := 200
+	issued := 0
+	issue = func() {
+		if issued >= total {
+			return
+		}
+		issued++
+		r.qp.Write(lmr, rmr, block, "data", func(sim.Time) {
+			completed++
+			issue()
+		})
+	}
+	for i := 0; i < outstanding; i++ {
+		issue()
+	}
+	r.eng.Run()
+	if completed != total {
+		t.Fatalf("completed %d, want %d", completed, total)
+	}
+	elapsed := float64(r.eng.Now())
+	gput := float64(total) * block / elapsed
+	if units.ToGbps(gput) < 38.5 {
+		t.Fatalf("pipelined goodput = %v Gbps, want ≈40", units.ToGbps(gput))
+	}
+}
+
+func TestRemoteBufferWriteCrossesReceiverInterconnect(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	src := r.ha.M.NewBuffer("src", r.ha.M.Node(0))
+	// Destination buffer on the receiver's node 1, NIC on node 0.
+	dst := r.hb.M.NewBuffer("dst", r.hb.M.Node(1))
+	lmr := r.qp.RegisterMR("src", r.link.A, src)
+	rmr := r.qp.RegisterMR("dst", r.link.B, dst)
+	r.qp.Write(lmr, rmr, float64(units.GB), "data", nil)
+	r.eng.Run()
+	r.s.Sync()
+	qpi := r.hb.M.Link(r.hb.M.Node(0), r.hb.M.Node(1))
+	if r.s.Usage(qpi, "data") == 0 {
+		t.Fatal("NUMA-remote RDMA target should cross receiver QPI")
+	}
+}
+
+func TestRegisterMRValidation(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	other := r.ha.NewDevice("other", r.ha.M.Node(0))
+	buf := r.ha.M.NewBuffer("b", r.ha.M.Node(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering MR on foreign NIC")
+		}
+	}()
+	r.qp.RegisterMR("bad", other, buf)
+}
+
+func TestSameEndpointOpPanics(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	b1 := r.ha.M.NewBuffer("b1", r.ha.M.Node(0))
+	b2 := r.ha.M.NewBuffer("b2", r.ha.M.Node(0))
+	m1 := r.qp.RegisterMR("m1", r.link.A, b1)
+	m2 := r.qp.RegisterMR("m2", r.link.A, b2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for same-endpoint RDMA op")
+		}
+	}()
+	r.qp.Write(m1, m2, 100, "x", nil)
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ReadPenalty < 1")
+		}
+	}()
+	NewQP(r.link, Params{ReadPenalty: 0.9})
+}
+
+func TestWANWriteIncludesPropagation(t *testing.T) {
+	wan := fabric.Config{Name: "wan", Rate: units.FromGbps(40), RTT: 0.095}
+	r := newRig(t, wan, DefaultParams())
+	src := r.ha.M.NewBuffer("src", r.ha.M.Node(0))
+	dst := r.hb.M.NewBuffer("dst", r.hb.M.Node(0))
+	lmr := r.qp.RegisterMR("src", r.link.A, src)
+	rmr := r.qp.RegisterMR("dst", r.link.B, dst)
+	size := float64(units.MB)
+	var done sim.Time
+	r.qp.Write(lmr, rmr, size, "x", func(now sim.Time) { done = now })
+	r.eng.Run()
+	want := 5e-6 + size/units.FromGbps(40) + 0.0475
+	if math.Abs(float64(done)-want) > 1e-6 {
+		t.Fatalf("WAN write done at %v, want %v", done, want)
+	}
+}

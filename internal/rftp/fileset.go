@@ -1,0 +1,223 @@
+package rftp
+
+import (
+	"fmt"
+	"math"
+
+	"e2edt/internal/fabric"
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/numa"
+	"e2edt/internal/pipe"
+	"e2edt/internal/sim"
+)
+
+// FileSpec names one file in a dataset transfer.
+type FileSpec struct {
+	Name string
+	Size int64
+}
+
+// TotalBytes sums a file list.
+func TotalBytes(files []FileSpec) float64 {
+	total := 0.0
+	for _, f := range files {
+		total += float64(f.Size)
+	}
+	return total
+}
+
+// SetTransfer is a dataset (many-file) RFTP session. Files are dispatched
+// to streams round-robin; within a stream each file pays a per-file
+// control exchange (open/attribute round trip) before its data moves —
+// the usual reason datasets of small files transfer far below line rate
+// even on a clean path.
+type SetTransfer struct {
+	Cfg   Config
+	P     Params
+	Files []FileSpec
+
+	sim      *fluid.Sim
+	eng      *sim.Engine
+	started  sim.Time
+	finished sim.Time
+	// Completed counts fully transferred files.
+	Completed int
+	moved     float64
+	active    map[*fluid.Transfer]struct{}
+	pending   int
+	// OnComplete fires when every file has been transferred.
+	OnComplete func(now sim.Time)
+}
+
+// streamCtx carries one stream's charge template and file queue.
+type setStream struct {
+	link  *fabric.Link
+	queue []FileSpec
+	// mkFlow builds a flow carrying the stream's full cost structure.
+	mkFlow func(name string) *fluid.Flow
+}
+
+// StartSet launches a multi-file transfer. Each stream processes its file
+// queue sequentially: per-file control round trip, then the file body.
+func StartSet(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
+	src, dst pipe.Stage, files []FileSpec, onComplete func(now sim.Time)) (*SetTransfer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("rftp: no links")
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("rftp: empty file set")
+	}
+	for _, f := range files {
+		if f.Size <= 0 {
+			return nil, fmt.Errorf("rftp: file %q has non-positive size", f.Name)
+		}
+	}
+	t := &SetTransfer{
+		Cfg: cfg, P: p, Files: files,
+		sim: links[0].Sim(), eng: links[0].Engine(),
+		active:     make(map[*fluid.Transfer]struct{}),
+		pending:    len(files),
+		OnComplete: onComplete,
+	}
+	t.started = t.eng.Now()
+
+	streams := make([]*setStream, cfg.Streams)
+	bs := float64(cfg.BlockSize)
+	for i := range streams {
+		l := links[i%len(links)]
+		var sndNIC *host.Device
+		switch senderHost {
+		case l.A.Host:
+			sndNIC = l.A
+		case l.B.Host:
+			sndNIC = l.B
+		default:
+			return nil, fmt.Errorf("rftp: sender %s not on link %s", senderHost.Name, l.Cfg.Name)
+		}
+		rcvNIC := l.Peer(sndNIC)
+		mkThreads := func(nic *host.Device, role string) (*host.Thread, *host.Thread, *numa.Buffer) {
+			h := nic.Host
+			var proc *host.Process
+			if cfg.Policy == numa.PolicyBind {
+				proc = h.NewProcess(fmt.Sprintf("rftp-%s/%s/set%d", role, l.Cfg.Name, i), numa.PolicyBind, nic.Node)
+			} else {
+				proc = h.NewProcess(fmt.Sprintf("rftp-%s/%s/set%d", role, l.Cfg.Name, i), cfg.Policy, nil)
+			}
+			net, io := proc.NewThread(), proc.NewThread()
+			var buf *numa.Buffer
+			if node := net.Node(); node != nil {
+				buf = h.M.NewBuffer("rftp-stage", node)
+			} else {
+				buf = h.M.InterleavedBuffer("rftp-stage")
+			}
+			return net, io, buf
+		}
+		sndNet, sndIO, sndBuf := mkThreads(sndNIC, "c")
+		rcvNet, rcvIO, rcvBuf := mkThreads(rcvNIC, "s")
+
+		demand := math.Inf(1)
+		if rtt := float64(l.RTT()); rtt > 0 {
+			demand = float64(cfg.CreditsPerStream) * bs / rtt
+		}
+		st := &setStream{link: l}
+		var mkErr error
+		st.mkFlow = func(name string) *fluid.Flow {
+			f := t.sim.NewFlow(name, demand)
+			if err := src.Attach(f, sndIO, sndBuf, 1, "rftp"); err != nil {
+				mkErr = err
+			}
+			sndNet.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
+			sndNIC.ChargeDMA(f, sndBuf, 1, false, "rftp")
+			l.ChargeWire(f, sndNIC, 1+p.CtrlBytesPerBlock/bs, "rftp")
+			rcvNIC.ChargeDMA(f, rcvBuf, 1, true, "rftp")
+			rcvNet.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
+			if err := dst.Attach(f, rcvIO, rcvBuf, 1, "rftp"); err != nil {
+				mkErr = err
+			}
+			return f
+		}
+		// Probe the charge template once for stage errors.
+		probe := st.mkFlow("rftp-set-probe")
+		t.sim.Network.RemoveFlow(probe)
+		if mkErr != nil {
+			return nil, fmt.Errorf("rftp: stage: %w", mkErr)
+		}
+		streams[i] = st
+	}
+	for i, f := range files {
+		st := streams[i%len(streams)]
+		st.queue = append(st.queue, f)
+	}
+
+	handshake := sim.Duration(p.HandshakeRTTs) * sim.Duration(links[0].RTT())
+	t.eng.Schedule(handshake, func() {
+		for _, st := range streams {
+			t.next(st)
+		}
+	})
+	return t, nil
+}
+
+// next opens the stream's next file: control round trip, then body.
+func (t *SetTransfer) next(st *setStream) {
+	if len(st.queue) == 0 {
+		return
+	}
+	file := st.queue[0]
+	st.queue = st.queue[1:]
+	// Per-file open/attribute exchange: one round trip on the control
+	// channel.
+	st.link.Send(t.P.CtrlBytesPerBlock, func(sim.Time) {
+		st.link.Send(t.P.CtrlBytesPerBlock, func(sim.Time) {
+			f := st.mkFlow(fmt.Sprintf("rftp-set/%s", file.Name))
+			tr := &fluid.Transfer{Flow: f, Remaining: float64(file.Size)}
+			tr.OnComplete = func(now sim.Time) {
+				delete(t.active, tr)
+				t.moved += float64(file.Size)
+				t.Completed++
+				t.pending--
+				if t.pending == 0 {
+					t.finished = now
+					if t.OnComplete != nil {
+						t.OnComplete(now)
+					}
+					return
+				}
+				t.next(st)
+			}
+			t.active[tr] = struct{}{}
+			t.sim.Start(tr)
+		})
+	})
+}
+
+// Transferred returns payload bytes moved so far (completed files plus
+// in-flight progress).
+func (t *SetTransfer) Transferred() float64 {
+	t.sim.Sync()
+	sum := t.moved
+	for tr := range t.active {
+		sum += tr.Transferred()
+	}
+	return sum
+}
+
+// Bandwidth returns the average payload rate since start.
+func (t *SetTransfer) Bandwidth() float64 {
+	end := t.eng.Now()
+	if t.finished > 0 {
+		end = t.finished
+	}
+	el := float64(end - t.started)
+	if el <= 0 {
+		return 0
+	}
+	return t.Transferred() / el
+}
+
+// Finished returns the completion time (zero while running).
+func (t *SetTransfer) Finished() sim.Time { return t.finished }

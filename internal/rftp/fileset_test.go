@@ -1,0 +1,153 @@
+package rftp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"e2edt/internal/pipe"
+	"e2edt/internal/sim"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+func uniformSet(n int, size int64) []FileSpec {
+	files := make([]FileSpec, n)
+	for i := range files {
+		files[i] = FileSpec{Name: fmt.Sprintf("f%04d", i), Size: size}
+	}
+	return files
+}
+
+func TestStartSetValidation(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	if _, err := StartSet(nil, p.A, DefaultConfig(), DefaultParams(), pipe.Zero{}, pipe.Null{}, uniformSet(1, units.MB), nil); err == nil {
+		t.Error("no links should fail")
+	}
+	if _, err := StartSet(p.Links, p.A, DefaultConfig(), DefaultParams(), pipe.Zero{}, pipe.Null{}, nil, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := StartSet(p.Links, p.A, DefaultConfig(), DefaultParams(), pipe.Zero{}, pipe.Null{},
+		[]FileSpec{{Name: "bad", Size: 0}}, nil); err == nil {
+		t.Error("zero-size file should fail")
+	}
+	if _, err := StartSet(p.Links, p.A, Config{}, DefaultParams(), pipe.Zero{}, pipe.Null{}, uniformSet(1, units.MB), nil); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+func TestSetTransfersAllFiles(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	files := uniformSet(30, 512*units.MB)
+	var done sim.Time
+	st, err := StartSet(p.Links, p.A, DefaultConfig(), DefaultParams(),
+		pipe.Zero{}, pipe.Null{}, files, func(now sim.Time) { done = now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.Run()
+	if done <= 0 {
+		t.Fatal("set never completed")
+	}
+	if st.Completed != 30 {
+		t.Fatalf("completed %d of 30 files", st.Completed)
+	}
+	want := TotalBytes(files)
+	if got := st.Transferred(); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("moved %v of %v bytes", got, want)
+	}
+	if st.Finished() != done || st.Bandwidth() <= 0 {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestLargeFilesApproachStreamRate(t *testing.T) {
+	// Few huge files: per-file overhead amortizes; rate approaches the
+	// continuous-transfer rate.
+	p := testbed.NewMotivatingPair()
+	st, err := StartSet(p.Links, p.A, DefaultConfig(), DefaultParams(),
+		pipe.Zero{}, pipe.Null{}, uniformSet(3, 8*units.GB), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.Run()
+	g := units.ToGbps(st.Bandwidth())
+	if g < 100 {
+		t.Fatalf("large-file set = %.1f Gbps, want ≈ line rate", g)
+	}
+}
+
+func TestSmallFilesLatencyBound(t *testing.T) {
+	// Many small files over the WAN: each pays a 95 ms control round
+	// trip, so goodput collapses — the small-file problem.
+	w := testbed.NewWAN()
+	cfg := DefaultConfig()
+	cfg.Streams = 1
+	st, err := StartSet(w.LinkSlice(), w.A, cfg, DefaultParams(),
+		pipe.Zero{}, pipe.Null{}, uniformSet(50, units.MB), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Eng.Run()
+	// 50 files × ≥1 RTT control ≈ ≥4.75 s for 50 MB: well under 1 Gbps.
+	if g := units.ToGbps(st.Bandwidth()); g > 1 {
+		t.Fatalf("small-file WAN set = %.2f Gbps, should be latency-bound", g)
+	}
+	if st.Completed != 50 {
+		t.Fatalf("completed %d of 50", st.Completed)
+	}
+}
+
+func TestSmallVsLargeFilesOnWAN(t *testing.T) {
+	run := func(n int, size int64) float64 {
+		w := testbed.NewWAN()
+		cfg := DefaultConfig()
+		cfg.Streams = 4
+		st, err := StartSet(w.LinkSlice(), w.A, cfg, DefaultParams(),
+			pipe.Zero{}, pipe.Null{}, uniformSet(n, size), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Eng.Run()
+		return st.Bandwidth()
+	}
+	// Same 4 GB total volume, different granularity.
+	small := run(1024, 4*units.MB)
+	large := run(4, units.GB)
+	if small >= large {
+		t.Fatalf("small files (%v) should trail large files (%v)", small, large)
+	}
+	if large/small < 2 {
+		t.Fatalf("file-size effect too weak: %v vs %v", small, large)
+	}
+}
+
+func TestSetProgressMidFlight(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	st, err := StartSet(p.Links, p.A, DefaultConfig(), DefaultParams(),
+		pipe.Zero{}, pipe.Null{}, uniformSet(10, units.GB), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunUntil(0.3)
+	mid := st.Transferred()
+	if mid <= 0 {
+		t.Fatal("no progress mid-flight")
+	}
+	if mid >= TotalBytes(st.Files) {
+		t.Fatal("progress overshot")
+	}
+	p.Eng.Run()
+	if st.Completed != 10 {
+		t.Fatalf("completed %d", st.Completed)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	if TotalBytes(nil) != 0 {
+		t.Fatal("empty set should total 0")
+	}
+	if TotalBytes(uniformSet(3, 7)) != 21 {
+		t.Fatal("TotalBytes wrong")
+	}
+}

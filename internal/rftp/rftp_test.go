@@ -1,0 +1,300 @@
+package rftp
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/numa"
+	"e2edt/internal/pipe"
+	"e2edt/internal/sim"
+	"e2edt/internal/testbed"
+	"e2edt/internal/units"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Streams: 0, BlockSize: units.MB, CreditsPerStream: 4},
+		{Streams: 1, BlockSize: 0, CreditsPerStream: 4},
+		{Streams: 1, BlockSize: units.MB, CreditsPerStream: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	if _, err := Start(nil, p.A, DefaultConfig(), DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil); err == nil {
+		t.Error("no links should fail")
+	}
+	if _, err := Start(p.Links, p.A, Config{}, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := Start(p.Links, p.A, DefaultConfig(), DefaultParams(), pipe.Zero{}, pipe.Null{}, -1, nil); err == nil {
+		t.Error("negative size should fail")
+	}
+	// A host not on the links.
+	w := testbed.NewWAN()
+	if _, err := Start(p.Links, w.A, DefaultConfig(), DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil); err == nil {
+		t.Error("foreign sender should fail")
+	}
+}
+
+func TestMemoryToMemoryLANSaturatesLinks(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	tr, err := Start(p.Links, p.A, DefaultConfig(), DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunFor(10)
+	g := units.ToGbps(tr.Transferred() / 10)
+	// 3×40G links, zero-copy: expect ≥ 95% of 120 Gbps payload capacity.
+	if g < 110 || g > 120 {
+		t.Fatalf("RFTP mem-to-mem = %.1f Gbps, want ≈117", g)
+	}
+	rates := tr.StreamRates()
+	if len(rates) != 3 {
+		t.Fatalf("stream count = %d", len(rates))
+	}
+	tr.Stop()
+}
+
+func TestFiniteTransferCompletes(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	var doneAt sim.Time
+	size := 12 * float64(units.GB)
+	tr, err := Start(p.Links, p.A, DefaultConfig(), DefaultParams(),
+		pipe.Zero{}, pipe.Null{}, size, func(now sim.Time) { doneAt = now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.Run()
+	if doneAt <= 0 {
+		t.Fatal("transfer never completed")
+	}
+	if got := tr.Transferred(); math.Abs(got-size)/size > 1e-6 {
+		t.Fatalf("transferred %v of %v", got, size)
+	}
+	if tr.Finished() != doneAt {
+		t.Fatal("Finished() mismatch")
+	}
+	// 12 GB over ≈14.6 GB/s takes ≈0.82s plus handshake.
+	if doneAt < 0.5 || doneAt > 2 {
+		t.Fatalf("completed at %v, implausible", doneAt)
+	}
+	if tr.Bandwidth() <= 0 {
+		t.Fatal("bandwidth unset")
+	}
+}
+
+func TestHandshakeDelaysData(t *testing.T) {
+	w := testbed.NewWAN()
+	p := DefaultParams()
+	p.HandshakeRTTs = 2
+	tr, err := Start(w.LinkSlice(), w.A, DefaultConfig(), p, pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before 2×95 ms nothing moves.
+	w.Eng.RunUntil(0.18)
+	if tr.Transferred() != 0 {
+		t.Fatal("data moved before handshake finished")
+	}
+	w.Eng.RunUntil(1)
+	if tr.Transferred() == 0 {
+		t.Fatal("no data after handshake")
+	}
+	tr.Stop()
+}
+
+func TestCreditWindowLimitsWAN(t *testing.T) {
+	w := testbed.NewWAN()
+	cfg := DefaultConfig()
+	cfg.Streams = 1
+	cfg.BlockSize = 64 * units.KB
+	cfg.CreditsPerStream = 64
+	tr, err := Start(w.LinkSlice(), w.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Eng.RunUntil(20)
+	got := tr.Transferred() / (20 - 2*0.095)
+	want := 64 * float64(64*units.KB) / 0.095
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("credit-limited rate = %v, want %v", got, want)
+	}
+	tr.Stop()
+}
+
+func TestBlockSizeMonotoneOnWAN(t *testing.T) {
+	prev := 0.0
+	for _, bs := range []int64{64 * units.KB, units.MB, 4 * units.MB} {
+		w := testbed.NewWAN()
+		cfg := DefaultConfig()
+		cfg.Streams = 2
+		cfg.BlockSize = bs
+		tr, err := Start(w.LinkSlice(), w.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Eng.RunFor(20)
+		got := tr.Transferred() / 20
+		if got <= prev {
+			t.Fatalf("bandwidth not increasing with block size at %s: %v ≤ %v",
+				units.FormatBytes(bs), got, prev)
+		}
+		prev = got
+		tr.Stop()
+	}
+}
+
+func TestWANSaturationAt97Percent(t *testing.T) {
+	w := testbed.NewWAN()
+	cfg := DefaultConfig()
+	cfg.Streams = 8
+	cfg.BlockSize = 16 * units.MB
+	tr, err := Start(w.LinkSlice(), w.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Eng.RunFor(30)
+	util := units.ToGbps(tr.Transferred()/30) / 40
+	// Paper: RFTP reaches 97% of the raw 40 Gbps.
+	if util < 0.95 || util > 1.0 {
+		t.Fatalf("WAN utilization = %.3f, want ≈0.97", util)
+	}
+	tr.Stop()
+}
+
+func TestPerBlockCPUFallsWithBlockSize(t *testing.T) {
+	cpu := func(bs int64) float64 {
+		w := testbed.NewWAN()
+		cfg := DefaultConfig()
+		cfg.Streams = 4
+		cfg.BlockSize = bs
+		tr, err := Start(w.LinkSlice(), w.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Eng.RunFor(20)
+		bytes := tr.Transferred()
+		tr.Stop()
+		rep := w.A.HostCPUReport()
+		// Normalize CPU by bytes moved: core-seconds per GB.
+		return rep.ByCategory["user"] / (bytes / 1e9)
+	}
+	small := cpu(256 * units.KB)
+	large := cpu(16 * units.MB)
+	if small <= large {
+		t.Fatalf("per-byte protocol CPU should fall with block size: %v ≤ %v", small, large)
+	}
+}
+
+func TestUnpinnedPolicyAllowed(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	cfg := DefaultConfig()
+	cfg.Policy = numa.PolicyDefault
+	tr, err := Start(p.Links, p.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunFor(5)
+	if tr.Transferred() <= 0 {
+		t.Fatal("unpinned transfer moved nothing")
+	}
+	tr.Stop()
+}
+
+func TestStopHaltsStreams(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	tr, err := Start(p.Links, p.A, DefaultConfig(), DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunFor(2)
+	tr.Stop()
+	moved := tr.Transferred()
+	p.Eng.RunFor(2)
+	if tr.Transferred() != moved {
+		t.Fatal("data still moving after Stop")
+	}
+}
+
+func TestZeroCopySenderCPUIsLow(t *testing.T) {
+	// Figure 4: RFTP at ≈39 Gbps uses ≈122% CPU total (both ends),
+	// dominated by the /dev/zero load, not the protocol.
+	w := testbed.NewWAN()
+	cfg := DefaultConfig()
+	cfg.Streams = 8
+	cfg.BlockSize = 4 * units.MB
+	tr, err := Start(w.LinkSlice(), w.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Eng.RunFor(20)
+	g := units.ToGbps(tr.Transferred() / 20)
+	if g < 37 {
+		t.Fatalf("rate = %.1f Gbps, want ≈39", g)
+	}
+	tr.Stop()
+	total := (w.A.HostCPUReport().Total + w.B.HostCPUReport().Total) / 20 * 100
+	// Paper: ≈122%; accept 80–170%.
+	if total < 80 || total > 170 {
+		t.Fatalf("RFTP total CPU = %.0f%%, want ≈122%%", total)
+	}
+}
+
+func TestChecksumCostsCPU(t *testing.T) {
+	run := func(checksum bool) (float64, float64) {
+		p := testbed.NewMotivatingPair()
+		cfg := DefaultConfig()
+		cfg.Checksum = checksum
+		tr, err := Start(p.Links, p.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Eng.RunFor(10)
+		bw := tr.Transferred() / 10
+		tr.Stop()
+		return bw, p.A.HostCPUReport().TotalPercent(10)
+	}
+	bwOff, cpuOff := run(false)
+	bwOn, cpuOn := run(true)
+	if cpuOn <= cpuOff*1.1 {
+		t.Fatalf("checksum CPU %v should clearly exceed %v", cpuOn, cpuOff)
+	}
+	if bwOn > bwOff {
+		t.Fatalf("checksum (%v) should not beat plain (%v)", bwOn, bwOff)
+	}
+}
+
+func TestTwoSessionsShareWANFairly(t *testing.T) {
+	// Two independent RFTP sessions on the same 40G loop: max-min sharing
+	// gives each ≈half once both saturate.
+	w := testbed.NewWAN()
+	cfg := DefaultConfig()
+	cfg.Streams = 4
+	cfg.BlockSize = 16 * units.MB
+	t1, err := Start(w.LinkSlice(), w.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Start(w.LinkSlice(), w.A, cfg, DefaultParams(), pipe.Zero{}, pipe.Null{}, math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Eng.RunFor(20)
+	b1, b2 := t1.Transferred()/20, t2.Transferred()/20
+	if math.Abs(b1-b2)/b1 > 0.01 {
+		t.Fatalf("unfair sharing: %v vs %v", b1, b2)
+	}
+	total := units.ToGbps(b1 + b2)
+	if total < 38 {
+		t.Fatalf("combined = %.1f Gbps, want ≈39", total)
+	}
+}

@@ -1,0 +1,25 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkHeapChurn1k(b *testing.B) {
+	// 1000 pending events at all times.
+	e := NewEngine()
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Duration(i+1), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(2000), func() {})
+		e.Step()
+	}
+}

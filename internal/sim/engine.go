@@ -1,0 +1,262 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated subsystems in this repository (NUMA memory controllers,
+// RDMA fabrics, TCP stacks, storage devices) share one Engine instance. The
+// engine maintains a virtual clock measured in seconds and an event queue
+// ordered by (time, sequence). Events scheduled for the same instant fire in
+// the order they were scheduled, which makes every simulation run fully
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+const (
+	// Forever is a time later than any event the engine will ever fire.
+	Forever Time = math.MaxFloat64
+	// Microsecond, Millisecond and Second express durations in seconds.
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+)
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.Schedule and Engine.At.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once removed
+	fired  bool
+	cancel bool
+}
+
+// Time reports when the event is (or was) due to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Tracer receives simulation trace events when installed on an engine.
+// Implementations live in the trace package; the interface sits here so
+// every subsystem can emit through the engine it already holds.
+type Tracer interface {
+	// Event is called with the current virtual time, the emitting
+	// subsystem ("fluid", "iscsi", "rftp", ...) and a formatted message.
+	Event(now Time, subsys, msg string)
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// a simulation is a single-threaded computation over virtual time.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	running bool
+	stopped bool
+	tracer  Tracer
+	// Processed counts events that have fired, for diagnostics.
+	Processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetTracer installs (or, with nil, removes) a trace sink.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Tracing reports whether a tracer is installed, so callers can skip
+// building expensive messages.
+func (e *Engine) Tracing() bool { return e.tracer != nil }
+
+// Tracef emits a formatted trace event when a tracer is installed.
+func (e *Engine) Tracef(subsys, format string, args ...any) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Event(e.now, subsys, fmt.Sprintf(format, args...))
+}
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay. A negative delay is an error in the
+// caller; Schedule panics to surface the bug immediately.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+Time(delay), fn)
+}
+
+// At queues fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a causality bug in the calling model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes ev from the queue if it has not fired. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.fired || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Step fires the earliest pending event and advances the clock to its time.
+// It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil processes events with time ≤ t, then advances the clock to t.
+// Events scheduled exactly at t do fire.
+func (e *Engine) RunUntil(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := e.queue[0]
+		if next.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor processes events within the next d seconds of virtual time.
+func (e *Engine) RunFor(d Duration) {
+	e.RunUntil(e.now + Time(d))
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Sleeper supports periodic activities: it reschedules fn every interval
+// until Stop is called.
+type Ticker struct {
+	engine   *Engine
+	interval Duration
+	fn       func(Time)
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker schedules fn to run every interval, first at now+interval.
+func (e *Engine) NewTicker(interval Duration, fn func(Time)) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop prevents any further ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}

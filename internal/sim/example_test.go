@@ -1,0 +1,23 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"e2edt/internal/sim"
+)
+
+// Example demonstrates deterministic discrete-event scheduling: events fire
+// in time order, ties break in scheduling order, and virtual time is free.
+func Example() {
+	eng := sim.NewEngine()
+	eng.Schedule(2, func() { fmt.Println("second, at", eng.Now()) })
+	eng.Schedule(1, func() {
+		fmt.Println("first, at", eng.Now())
+		eng.Schedule(1.5, func() { fmt.Println("nested, at", eng.Now()) })
+	})
+	eng.Run()
+	// Output:
+	// first, at 1
+	// second, at 2
+	// nested, at 2.5
+}

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+// frontend is the paper's front-end host: 2 nodes × 25 GB/s controllers,
+// STREAM Triad peak 50 GB/s.
+func frontend(t *testing.T) *host.Host {
+	t.Helper()
+	s := fluid.NewSim(sim.NewEngine())
+	return host.New("fe", numa.MustNew(s, numa.Config{
+		Name: "fe", Nodes: 2, CoresPerNode: 8, CoreHz: 2.2e9,
+		MemBandwidthPerNode:   25 * units.GBps,
+		InterconnectBandwidth: 11 * units.GBps,
+		RemoteAccessPenalty:   1.2, CoherencyWritePenalty: 1.3,
+	}))
+}
+
+func TestTriadPeaksAtPaperValue(t *testing.T) {
+	h := frontend(t)
+	res := Run(h, DefaultConfig(h))
+	got := units.ToGBps(res.Bandwidth)
+	// Paper: Triad peak 50 GB/s across both NUMA nodes.
+	if math.Abs(got-50) > 1 {
+		t.Fatalf("Triad = %.1f GB/s, want ≈50", got)
+	}
+	if res.Kernel != Triad {
+		t.Fatal("kernel mislabeled")
+	}
+	if len(res.PerThread) != h.M.TotalCores() {
+		t.Fatalf("per-thread results = %d, want %d", len(res.PerThread), h.M.TotalCores())
+	}
+}
+
+func TestAllKernelsSaturateMemory(t *testing.T) {
+	for _, k := range []Kernel{Copy, Scale, Add, Triad} {
+		h := frontend(t)
+		cfg := DefaultConfig(h)
+		cfg.Kernel = k
+		res := Run(h, cfg)
+		got := units.ToGBps(res.Bandwidth)
+		if math.Abs(got-50) > 1 {
+			t.Fatalf("%v = %.1f GB/s, want ≈50 (memory-bound)", k, got)
+		}
+	}
+}
+
+func TestSingleThreadBoundToOneNode(t *testing.T) {
+	h := frontend(t)
+	cfg := DefaultConfig(h)
+	cfg.Threads = 1
+	res := Run(h, cfg)
+	got := units.ToGBps(res.Bandwidth)
+	// One bound thread sees only its node's controller (25 GB/s), and may
+	// additionally be core-bound; it must be well under the machine peak.
+	if got > 25.1 {
+		t.Fatalf("single thread = %.1f GB/s, want ≤ 25", got)
+	}
+	if got < 5 {
+		t.Fatalf("single thread = %.1f GB/s, implausibly low", got)
+	}
+}
+
+func TestUnpinnedSlowerThanBound(t *testing.T) {
+	hB := frontend(t)
+	bound := Run(hB, DefaultConfig(hB))
+	hD := frontend(t)
+	cfgD := DefaultConfig(hD)
+	cfgD.Policy = numa.PolicyDefault
+	def := Run(hD, cfgD)
+	if def.Bandwidth >= bound.Bandwidth {
+		t.Fatalf("unpinned (%v) should trail bound (%v)", def.Bandwidth, bound.Bandwidth)
+	}
+}
+
+func TestKernelStrings(t *testing.T) {
+	names := map[Kernel]string{Copy: "Copy", Scale: "Scale", Add: "Add", Triad: "Triad"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%v.String() = %q", want, k.String())
+		}
+	}
+	if Kernel(9).String() == "" {
+		t.Fatal("unknown kernel should render")
+	}
+}
+
+func TestReadShares(t *testing.T) {
+	if Copy.readShare() != 0.5 || Scale.readShare() != 0.5 {
+		t.Fatal("copy/scale read share should be 1/2")
+	}
+	if Add.readShare() != 2.0/3.0 || Triad.readShare() != 2.0/3.0 {
+		t.Fatal("add/triad read share should be 2/3")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	h := frontend(t)
+	for i, cfg := range []Config{
+		{Threads: 0, Duration: 1},
+		{Threads: 1, Duration: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			Run(h, cfg)
+		}()
+	}
+}
+
+func TestRunStopsItsTransfers(t *testing.T) {
+	h := frontend(t)
+	Run(h, DefaultConfig(h))
+	if n := h.Sim.ActiveTransfers(); n != 0 {
+		t.Fatalf("%d transfers still active after Run", n)
+	}
+}

@@ -1,0 +1,263 @@
+package tcpstack
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/fabric"
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	s    *fluid.Sim
+	ha   *host.Host
+	hb   *host.Host
+	link *fabric.Link
+}
+
+func newRig(t *testing.T, linkCfg fabric.Config) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	cfg := numa.Config{
+		Name: "m", Nodes: 2, CoresPerNode: 8, CoreHz: 2.2e9,
+		MemBandwidthPerNode:   25 * units.GBps,
+		InterconnectBandwidth: 16 * units.GBps,
+		RemoteAccessPenalty:   1.4, CoherencyWritePenalty: 3,
+	}
+	ca, cb := cfg, cfg
+	ca.Name, cb.Name = "A", "B"
+	ha := host.New("A", numa.MustNew(s, ca))
+	hb := host.New("B", numa.MustNew(s, cb))
+	l := fabric.Connect(s, linkCfg, ha, ha.M.Node(0), hb, hb.M.Node(0))
+	return &rig{eng: eng, s: s, ha: ha, hb: hb, link: l}
+}
+
+func lanCfg() fabric.Config {
+	return fabric.Config{Name: "roce", Rate: units.FromGbps(40), RTT: 0.166e-3}
+}
+
+func (r *rig) boundConn(p Params) *Conn {
+	ps := r.ha.NewProcess("snd", numa.PolicyBind, r.ha.M.Node(0))
+	pr := r.hb.NewProcess("rcv", numa.PolicyBind, r.hb.M.Node(0))
+	return Dial(r.link, r.link.A, ps.NewThread(), pr.NewThread(), p)
+}
+
+func TestStreamReachesNearLineRate(t *testing.T) {
+	r := newRig(t, lanCfg())
+	c := r.boundConn(DefaultParams())
+	tr := c.Stream(math.Inf(1), FlowOptions{}, nil)
+	r.eng.RunUntil(10)
+	r.s.Sync()
+	got := units.ToGbps(tr.Transferred() / 10)
+	// Single bound stream: CPU at ~1.3 cyc/B per side on a 2.2 GHz core
+	// caps below line rate; expect >10 Gbps and ≤40 Gbps.
+	if got < 10 || got > 40 {
+		t.Fatalf("TCP stream = %.1f Gbps, want within (10,40]", got)
+	}
+}
+
+func TestCPUBreakdownShape(t *testing.T) {
+	// At a fixed rate, sys > copy > irq > user, mirroring Figure 4.
+	r := newRig(t, lanCfg())
+	c := r.boundConn(DefaultParams())
+	c.Stream(math.Inf(1), FlowOptions{}, nil)
+	r.eng.RunUntil(10)
+	snd := r.ha.Processes()[0].CPUReport()
+	rcv := r.hb.Processes()[0].CPUReport()
+	for _, rep := range []host.CPUReport{snd, rcv} {
+		if !(rep.ByCategory[host.CatSys] > rep.ByCategory[host.CatCopy]) {
+			t.Fatalf("sys (%v) should exceed copy (%v)", rep.ByCategory[host.CatSys], rep.ByCategory[host.CatCopy])
+		}
+		if !(rep.ByCategory[host.CatCopy] > rep.ByCategory[host.CatIRQ]) {
+			t.Fatalf("copy should exceed irq: %v", rep.ByCategory)
+		}
+		if !(rep.ByCategory[host.CatIRQ] > rep.ByCategory[host.CatUser]) {
+			t.Fatalf("irq should exceed user: %v", rep.ByCategory)
+		}
+	}
+}
+
+func TestFigure4CPURatios(t *testing.T) {
+	// Drive a stream at the paper's 39 Gbps operating point by widening
+	// CPU capacity (multiple streams) and verify aggregate cost ratios:
+	// sys ≈ 311%, copy ≈ 213% across both ends at 39 Gbps.
+	r := newRig(t, lanCfg())
+	ps := r.ha.NewProcess("snd", numa.PolicyBind, r.ha.M.Node(0))
+	pr := r.hb.NewProcess("rcv", numa.PolicyBind, r.hb.M.Node(0))
+	for i := 0; i < 4; i++ {
+		c := Dial(r.link, r.link.A, ps.NewThread(), pr.NewThread(), DefaultParams())
+		c.Stream(math.Inf(1), FlowOptions{}, nil)
+	}
+	r.eng.RunUntil(10)
+	r.s.Sync()
+	rate := 0.0
+	for _, f := range r.s.Network.Flows() {
+		rate += f.Rate()
+	}
+	gbps := units.ToGbps(rate)
+	if gbps < 38 {
+		t.Fatalf("aggregate = %.1f Gbps, want ≈39 (link-limited)", gbps)
+	}
+	snd := ps.CPUReport()
+	rcv := pr.CPUReport()
+	sysPct := (snd.ByCategory[host.CatSys] + rcv.ByCategory[host.CatSys]) / 10 * 100
+	copyPct := (snd.ByCategory[host.CatCopy] + rcv.ByCategory[host.CatCopy]) / 10 * 100
+	// Scale expectation to the achieved rate. The calibration compromises
+	// between Figure 4 (sys 311%, copy 213%) and §2.3; accept ±10%.
+	scale := gbps / 39
+	if math.Abs(sysPct-311*scale) > 31 {
+		t.Fatalf("sys%% = %.0f, want ≈%.0f", sysPct, 311*scale)
+	}
+	if math.Abs(copyPct-213*scale) > 22 {
+		t.Fatalf("copy%% = %.0f, want ≈%.0f", copyPct, 213*scale)
+	}
+}
+
+func TestNUMABindingImprovesThroughput(t *testing.T) {
+	// An unpinned sender pays remote-access penalties; a pinned one does
+	// not. Mirrors the §2.3 iperf observation (~10% gain from binding).
+	run := func(policy numa.Policy) float64 {
+		r := newRig(t, lanCfg())
+		ps := r.ha.NewProcess("snd", policy, r.ha.M.Node(0))
+		pr := r.hb.NewProcess("rcv", policy, r.hb.M.Node(0))
+		c := Dial(r.link, r.link.A, ps.NewThread(), pr.NewThread(), DefaultParams())
+		tr := c.Stream(math.Inf(1), FlowOptions{}, nil)
+		r.eng.RunUntil(10)
+		r.s.Sync()
+		return tr.Transferred() / 10
+	}
+	bound := run(numa.PolicyBind)
+	unpinned := run(numa.PolicyDefault)
+	if bound <= unpinned {
+		t.Fatalf("bound (%v) should beat unpinned (%v)", bound, unpinned)
+	}
+	gain := bound / unpinned
+	if gain < 1.03 || gain > 1.6 {
+		t.Fatalf("binding gain = %.2f×, want a modest (3%%–60%%) improvement", gain)
+	}
+}
+
+func TestWindowCapLimitsWAN(t *testing.T) {
+	wan := fabric.Config{Name: "wan", Rate: units.FromGbps(40), RTT: 0.095}
+	r := newRig(t, wan)
+	p := DefaultParams()
+	p.SockBuf = 64 * float64(units.MB)
+	c := r.boundConn(p)
+	tr := c.Stream(math.Inf(1), FlowOptions{}, nil)
+	r.eng.RunUntil(10)
+	r.s.Sync()
+	got := tr.Transferred() / 10
+	want := p.SockBuf / 0.095
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("WAN rate = %v, want window-capped %v", got, want)
+	}
+}
+
+func TestUnboundedWindow(t *testing.T) {
+	cfgNoRTT := fabric.Config{Name: "l", Rate: units.FromGbps(40)}
+	r := newRig(t, cfgNoRTT)
+	p := DefaultParams()
+	p.SockBuf = 0
+	c := r.boundConn(p)
+	if !math.IsInf(c.windowCap(), 1) {
+		t.Fatal("zero SockBuf should mean unbounded window")
+	}
+}
+
+func TestRampConvergesToCap(t *testing.T) {
+	wan := fabric.Config{Name: "wan", Rate: units.FromGbps(40), RTT: 0.095}
+	r := newRig(t, wan)
+	p := DefaultParams()
+	p.SockBuf = 64 * float64(units.MB)
+	p.RampTime = 1
+	c := r.boundConn(p)
+	tr := c.Stream(math.Inf(1), FlowOptions{}, nil)
+	r.eng.RunUntil(1)
+	r.s.Sync()
+	early := tr.Transferred()
+	r.eng.RunUntil(11)
+	r.s.Sync()
+	late := tr.Transferred() - early
+	cap := p.SockBuf / 0.095
+	// First second is ramping: clearly below cap; last 10s near cap.
+	if early >= cap*0.9 {
+		t.Fatalf("first-second volume %v too close to cap %v (no ramp)", early, cap)
+	}
+	if late < cap*10*0.9 {
+		t.Fatalf("post-ramp volume %v below 90%% of cap %v", late, cap*10)
+	}
+}
+
+func TestRampStopsAfterFiniteTransfer(t *testing.T) {
+	r := newRig(t, lanCfg())
+	p := DefaultParams()
+	p.RampTime = 0.5
+	c := r.boundConn(p)
+	done := false
+	c.Stream(float64(10*units.MB), FlowOptions{}, func(sim.Time) { done = true })
+	r.eng.RunUntil(30)
+	if !done {
+		t.Fatal("finite ramped stream never completed")
+	}
+	// Ticker must have stopped; engine should drain.
+	r.eng.RunFor(5)
+	if r.eng.Pending() > 0 {
+		t.Fatalf("%d events still pending after stream end (leaked ticker?)", r.eng.Pending())
+	}
+}
+
+func TestCacheResidentSourceCheaperThanMemorySource(t *testing.T) {
+	// iperf default (cache-resident) vs. big-buffer source: the latter
+	// reads real memory and costs controller bandwidth.
+	run := func(withBuf bool) float64 {
+		r := newRig(t, lanCfg())
+		c := r.boundConn(DefaultParams())
+		opt := FlowOptions{}
+		if withBuf {
+			opt.SrcBuf = r.ha.M.NewBuffer("big", r.ha.M.Node(0))
+		}
+		c.Stream(math.Inf(1), opt, nil)
+		r.eng.RunUntil(5)
+		r.s.Sync()
+		return r.ha.M.Node(0).Mem.Load()
+	}
+	noBuf := run(false)
+	withBuf := run(true)
+	if withBuf <= noBuf {
+		t.Fatalf("memory-sourced stream (%v) should load controller more than cached (%v)", withBuf, noBuf)
+	}
+}
+
+func TestThreeCopiesPerByteOnSender(t *testing.T) {
+	// With an application source buffer, each payload byte should touch
+	// the sender's memory controllers ~3×: app read, kernel write, DMA
+	// read (all node-local here).
+	r := newRig(t, lanCfg())
+	c := r.boundConn(DefaultParams())
+	src := r.ha.M.NewBuffer("src", r.ha.M.Node(0))
+	tr := c.Stream(math.Inf(1), FlowOptions{SrcBuf: src}, nil)
+	r.eng.RunUntil(5)
+	r.s.Sync()
+	bytes := tr.Transferred()
+	memLoad := r.s.Usage(r.ha.M.Node(0).Mem, "snd:copy") + r.s.Usage(r.ha.M.Node(0).Mem, "dma")
+	ratio := memLoad / bytes
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Fatalf("sender memory traffic ratio = %.2f, want ≈3", ratio)
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	r := newRig(t, lanCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil threads")
+		}
+	}()
+	Dial(r.link, r.link.A, nil, nil, DefaultParams())
+}

@@ -1,0 +1,199 @@
+// Package testbed instantiates the paper's testbeds (Table 1, Figures 5–6)
+// with calibrated model constants:
+//
+//   - Front-end LAN hosts: IBM X3650 M4, 2× Intel E5-2660 (2.2 GHz, 16
+//     cores), 128 GB, three 40 Gbps RoCE adapters.
+//   - Back-end LAN hosts: 2× E5-2650 (2.0 GHz), 384 GB (tmpfs LUN store),
+//     two 56 Gbps FDR InfiniBand adapters.
+//   - WAN hosts: 2× E5-2670 (2.9 GHz, 12 cores), 64 GB, one 40 Gbps RoCE
+//     adapter over the DOE ANI 4000-mile loop (RTT ≈ 95 ms).
+//
+// Calibration notes (see EXPERIMENTS.md): per-node memory bandwidth makes
+// STREAM Triad peak 50 GB/s on front-end hosts (§2.3); effective QPI
+// bandwidth and the coherency constants are set so that NUMA binding gains
+// ≈8% on iSER reads, ≈19% on iSER writes and ≈3× write CPU (Figures 7–8);
+// the back-end coherency penalty is higher than the front-end one because
+// tmpfs I/O sweeps gigabytes (every store misses cache and invalidates
+// remotely) while socket buffers stay cache-hot.
+package testbed
+
+import (
+	"e2edt/internal/fabric"
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+// FrontEndLAN returns the NUMA model of a front-end LAN host (E5-2660).
+func FrontEndLAN(name string) numa.Config {
+	return numa.Config{
+		Name: name, Nodes: 2, CoresPerNode: 8, CoreHz: 2.2e9,
+		MemBandwidthPerNode:        25 * units.GBps, // STREAM Triad 50 GB/s machine-wide
+		InterconnectBandwidth:      11 * units.GBps,
+		RemoteAccessPenalty:        1.2,
+		CoherencyWritePenalty:      1.3,
+		CoherencySnoopBytesPerByte: 0.3,
+		MemBytes:                   128 * units.GB,
+	}
+}
+
+// BackEndLAN returns the NUMA model of a back-end storage host (E5-2650).
+func BackEndLAN(name string) numa.Config {
+	return numa.Config{
+		Name: name, Nodes: 2, CoresPerNode: 8, CoreHz: 2.0e9,
+		MemBandwidthPerNode:        22 * units.GBps,
+		InterconnectBandwidth:      11.5 * units.GBps,
+		RemoteAccessPenalty:        1.4,
+		CoherencyWritePenalty:      8, // tmpfs-sweep write invalidations (≈3× process CPU)
+		CoherencySnoopBytesPerByte: 0.3,
+		MemBytes:                   384 * units.GB,
+	}
+}
+
+// WANHost returns the NUMA model of a DOE ANI testbed host (E5-2670).
+func WANHost(name string) numa.Config {
+	return numa.Config{
+		Name: name, Nodes: 2, CoresPerNode: 6, CoreHz: 2.9e9,
+		MemBandwidthPerNode:        21 * units.GBps,
+		InterconnectBandwidth:      11 * units.GBps,
+		RemoteAccessPenalty:        1.2,
+		CoherencyWritePenalty:      1.3,
+		CoherencySnoopBytesPerByte: 0.3,
+		MemBytes:                   64 * units.GB,
+	}
+}
+
+// RoCE40 returns a 40 Gbps RoCE QDR link config (LAN: RTT 0.166 ms,
+// MTU 9000).
+func RoCE40(name string) fabric.Config {
+	return fabric.Config{
+		Name: name, Rate: units.FromGbps(40), RTT: 0.166e-3,
+		MTU: 9000, HeaderBytes: 90,
+	}
+}
+
+// IBFDR56 returns a 56 Gbps InfiniBand FDR link config (RTT 0.144 ms,
+// MTU 65520).
+func IBFDR56(name string) fabric.Config {
+	return fabric.Config{
+		Name: name, Rate: units.FromGbps(56), RTT: 0.144e-3,
+		MTU: 65520, HeaderBytes: 80,
+	}
+}
+
+// ANIWAN returns the DOE ANI 4000-mile loopback link (Figure 6): 40 Gbps
+// RoCE, RTT ≈ 95 ms, BDP ≈ 475 MB.
+func ANIWAN(name string) fabric.Config {
+	return fabric.Config{
+		Name: name, Rate: units.FromGbps(40), RTT: 0.095,
+		MTU: 9000, HeaderBytes: 90,
+	}
+}
+
+// LAN is the full Figure 5 testbed: a sender/receiver front-end pair joined
+// by three RoCE links, each front end attached to its own back-end storage
+// host by two FDR links.
+type LAN struct {
+	Eng *sim.Engine
+	Sim *fluid.Sim
+
+	// Sender and Receiver are the front-end hosts (RFTP client/server and
+	// iSER initiators).
+	Sender, Receiver *host.Host
+	// SrcStore and DstStore are the back-end iSER target hosts.
+	SrcStore, DstStore *host.Host
+
+	// FrontLinks are the 3×40 Gbps RoCE links between the front ends.
+	FrontLinks []*fabric.Link
+	// SrcSAN and DstSAN are the 2×56 Gbps FDR links to each back end.
+	SrcSAN, DstSAN []*fabric.Link
+}
+
+// NewLAN builds the LAN testbed on a fresh engine.
+func NewLAN() *LAN {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	tb := &LAN{Eng: eng, Sim: s}
+	tb.Sender = host.New("sender", numa.MustNew(s, FrontEndLAN("sender")))
+	tb.Receiver = host.New("receiver", numa.MustNew(s, FrontEndLAN("receiver")))
+	tb.SrcStore = host.New("src-store", numa.MustNew(s, BackEndLAN("src-store")))
+	tb.DstStore = host.New("dst-store", numa.MustNew(s, BackEndLAN("dst-store")))
+
+	// Three RoCE NICs per front end: two on node 0, one on node 1
+	// (eight-lane PCIe 3.0 slots split across sockets).
+	nodeFor := []int{0, 1, 0}
+	for i := 0; i < 3; i++ {
+		cfg := RoCE40(fmtName("roce", i))
+		tb.FrontLinks = append(tb.FrontLinks, fabric.Connect(
+			s, cfg,
+			tb.Sender, tb.Sender.M.Node(nodeFor[i]),
+			tb.Receiver, tb.Receiver.M.Node(nodeFor[i])))
+	}
+	// Two FDR links per SAN, one per NUMA node pair.
+	for i := 0; i < 2; i++ {
+		tb.SrcSAN = append(tb.SrcSAN, fabric.Connect(
+			s, IBFDR56(fmtName("src-ib", i)),
+			tb.Sender, tb.Sender.M.Node(i),
+			tb.SrcStore, tb.SrcStore.M.Node(i)))
+		tb.DstSAN = append(tb.DstSAN, fabric.Connect(
+			s, IBFDR56(fmtName("dst-ib", i)),
+			tb.Receiver, tb.Receiver.M.Node(i),
+			tb.DstStore, tb.DstStore.M.Node(i)))
+	}
+	return tb
+}
+
+// WAN is the Figure 6 testbed: two hosts across the ANI loop.
+type WAN struct {
+	Eng  *sim.Engine
+	Sim  *fluid.Sim
+	A, B *host.Host
+	Link *fabric.Link
+}
+
+// NewWAN builds the WAN testbed on a fresh engine.
+func NewWAN() *WAN {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	w := &WAN{Eng: eng, Sim: s}
+	w.A = host.New("nersc", numa.MustNew(s, WANHost("nersc")))
+	w.B = host.New("anl", numa.MustNew(s, WANHost("anl")))
+	w.Link = fabric.Connect(s, ANIWAN("ani"), w.A, w.A.M.Node(0), w.B, w.B.M.Node(0))
+	return w
+}
+
+// MotivatingPair is the §2.3 testbed: two front-end-class hosts joined by
+// three 40 Gbps RoCE links (no storage back end).
+type MotivatingPair struct {
+	Eng   *sim.Engine
+	Sim   *fluid.Sim
+	A, B  *host.Host
+	Links []*fabric.Link
+}
+
+// NewMotivatingPair builds the §2.3 testbed.
+func NewMotivatingPair() *MotivatingPair {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	p := &MotivatingPair{Eng: eng, Sim: s}
+	p.A = host.New("a", numa.MustNew(s, FrontEndLAN("a")))
+	p.B = host.New("b", numa.MustNew(s, FrontEndLAN("b")))
+	nodeFor := []int{0, 1, 0}
+	for i := 0; i < 3; i++ {
+		p.Links = append(p.Links, fabric.Connect(
+			s, RoCE40(fmtName("roce", i)),
+			p.A, p.A.M.Node(nodeFor[i]),
+			p.B, p.B.M.Node(nodeFor[i])))
+	}
+	return p
+}
+
+func fmtName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// LinkSlice returns the WAN link as a one-element slice, for APIs that
+// take link sets.
+func (w *WAN) LinkSlice() []*fabric.Link { return []*fabric.Link{w.Link} }

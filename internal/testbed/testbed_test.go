@@ -1,0 +1,82 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/units"
+)
+
+func TestConfigsValidate(t *testing.T) {
+	for _, cfg := range []interface{ Validate() error }{
+		FrontEndLAN("fe"), BackEndLAN("be"), WANHost("wan"),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset invalid: %v", err)
+		}
+	}
+}
+
+func TestLinkPresets(t *testing.T) {
+	roce := RoCE40("r")
+	if roce.Rate != units.FromGbps(40) || roce.MTU != 9000 {
+		t.Fatal("RoCE preset wrong")
+	}
+	ib := IBFDR56("i")
+	if ib.Rate != units.FromGbps(56) || ib.MTU != 65520 {
+		t.Fatal("FDR preset wrong")
+	}
+	wan := ANIWAN("w")
+	if wan.RTT != 0.095 {
+		t.Fatal("ANI RTT wrong")
+	}
+}
+
+func TestLANShape(t *testing.T) {
+	tb := NewLAN()
+	if len(tb.FrontLinks) != 3 {
+		t.Fatalf("front links = %d, want 3", len(tb.FrontLinks))
+	}
+	if len(tb.SrcSAN) != 2 || len(tb.DstSAN) != 2 {
+		t.Fatal("SAN links wrong")
+	}
+	// Front links join sender and receiver.
+	for _, l := range tb.FrontLinks {
+		if l.A.Host != tb.Sender || l.B.Host != tb.Receiver {
+			t.Fatal("front link endpoints wrong")
+		}
+	}
+	for _, l := range tb.SrcSAN {
+		if l.A.Host != tb.Sender || l.B.Host != tb.SrcStore {
+			t.Fatal("src SAN endpoints wrong")
+		}
+	}
+	// Aggregate front-end capacity is 120 Gbps.
+	total := 0.0
+	for _, l := range tb.FrontLinks {
+		total += l.Cfg.Rate
+	}
+	if math.Abs(total-units.FromGbps(120)) > 1 {
+		t.Fatalf("front capacity = %v", total)
+	}
+}
+
+func TestWANShape(t *testing.T) {
+	w := NewWAN()
+	if w.Link.BDP() < 450e6 || w.Link.BDP() > 500e6 {
+		t.Fatalf("BDP = %v, want ≈475 MB", w.Link.BDP())
+	}
+	if len(w.LinkSlice()) != 1 {
+		t.Fatal("LinkSlice wrong")
+	}
+}
+
+func TestMotivatingPairShape(t *testing.T) {
+	p := NewMotivatingPair()
+	if len(p.Links) != 3 {
+		t.Fatal("motivating pair needs 3 links")
+	}
+	if p.A.M.TotalCores() != 16 || p.B.M.TotalCores() != 16 {
+		t.Fatal("front-end hosts need 16 cores")
+	}
+}

@@ -1,0 +1,109 @@
+// Package trace provides sinks for the simulation engine's trace events:
+// a writer-backed logger with subsystem filtering, and a recording sink
+// for tests and post-hoc inspection. Install with Engine.SetTracer.
+//
+// Tracing is strictly opt-in: with no tracer installed, subsystems pay a
+// single nil check per potential event.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"e2edt/internal/sim"
+)
+
+// Logger writes one line per event: "[  1.234567s] subsys: message".
+type Logger struct {
+	W io.Writer
+	// Subsystems, when non-empty, restricts output to the named
+	// subsystems.
+	Subsystems []string
+	// Emitted counts lines written.
+	Emitted uint64
+}
+
+// NewLogger returns a logger for w, optionally filtered to subsystems.
+func NewLogger(w io.Writer, subsystems ...string) *Logger {
+	return &Logger{W: w, Subsystems: subsystems}
+}
+
+var _ sim.Tracer = (*Logger)(nil)
+
+// Event implements sim.Tracer.
+func (l *Logger) Event(now sim.Time, subsys, msg string) {
+	if len(l.Subsystems) > 0 {
+		ok := false
+		for _, s := range l.Subsystems {
+			if s == subsys {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+	fmt.Fprintf(l.W, "[%11.6fs] %s: %s\n", float64(now), subsys, msg)
+	l.Emitted++
+}
+
+// Record is one captured event.
+type Record struct {
+	At     sim.Time
+	Subsys string
+	Msg    string
+}
+
+// Recorder captures events in memory (bounded by Cap when positive).
+type Recorder struct {
+	// Cap bounds retained events; 0 means unbounded. When full, the
+	// oldest events are dropped.
+	Cap     int
+	Events  []Record
+	Dropped uint64
+}
+
+var _ sim.Tracer = (*Recorder)(nil)
+
+// Event implements sim.Tracer.
+func (r *Recorder) Event(now sim.Time, subsys, msg string) {
+	if r.Cap > 0 && len(r.Events) >= r.Cap {
+		copy(r.Events, r.Events[1:])
+		r.Events = r.Events[:len(r.Events)-1]
+		r.Dropped++
+	}
+	r.Events = append(r.Events, Record{At: now, Subsys: subsys, Msg: msg})
+}
+
+// BySubsystem groups captured events.
+func (r *Recorder) BySubsystem() map[string][]Record {
+	out := make(map[string][]Record)
+	for _, e := range r.Events {
+		out[e.Subsys] = append(out[e.Subsys], e)
+	}
+	return out
+}
+
+// Summary renders per-subsystem event counts, sorted by name.
+func (r *Recorder) Summary() string {
+	counts := make(map[string]int)
+	for _, e := range r.Events {
+		counts[e.Subsys]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, counts[n]))
+	}
+	if r.Dropped > 0 {
+		parts = append(parts, fmt.Sprintf("dropped=%d", r.Dropped))
+	}
+	return strings.Join(parts, " ")
+}

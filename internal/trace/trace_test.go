@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"e2edt/internal/fluid"
+	"e2edt/internal/sim"
+)
+
+func TestLoggerWritesEvents(t *testing.T) {
+	var buf strings.Builder
+	eng := sim.NewEngine()
+	eng.SetTracer(NewLogger(&buf))
+	s := fluid.NewSim(eng)
+	r := s.AddResource("link", 100)
+	f := s.NewFlow("f", 50)
+	f.Use(r, 1)
+	s.Start(&fluid.Transfer{Flow: f, Remaining: 100})
+	eng.Run()
+	out := buf.String()
+	if !strings.Contains(out, "fluid: start f") {
+		t.Fatalf("missing start event:\n%s", out)
+	}
+	if !strings.Contains(out, "fluid: complete f transferred=100") {
+		t.Fatalf("missing complete event:\n%s", out)
+	}
+	if !strings.Contains(out, "s] fluid:") {
+		t.Fatalf("timestamp format wrong:\n%s", out)
+	}
+}
+
+func TestLoggerSubsystemFilter(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, "fabric")
+	l.Event(1, "fluid", "hidden")
+	l.Event(2, "fabric", "shown")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("filter leaked")
+	}
+	if !strings.Contains(out, "shown") {
+		t.Fatal("filtered subsystem missing")
+	}
+	if l.Emitted != 1 {
+		t.Fatalf("Emitted = %d", l.Emitted)
+	}
+}
+
+func TestRecorderCapturesAndGroups(t *testing.T) {
+	r := &Recorder{}
+	r.Event(1, "a", "x")
+	r.Event(2, "b", "y")
+	r.Event(3, "a", "z")
+	if len(r.Events) != 3 {
+		t.Fatalf("events = %d", len(r.Events))
+	}
+	groups := r.BySubsystem()
+	if len(groups["a"]) != 2 || len(groups["b"]) != 1 {
+		t.Fatalf("groups wrong: %v", groups)
+	}
+	if r.Summary() != "a=2 b=1" {
+		t.Fatalf("summary = %q", r.Summary())
+	}
+}
+
+func TestRecorderCapDropsOldest(t *testing.T) {
+	r := &Recorder{Cap: 2}
+	r.Event(1, "s", "one")
+	r.Event(2, "s", "two")
+	r.Event(3, "s", "three")
+	if len(r.Events) != 2 {
+		t.Fatalf("events = %d, want cap 2", len(r.Events))
+	}
+	if r.Events[0].Msg != "two" || r.Events[1].Msg != "three" {
+		t.Fatalf("wrong retention: %v", r.Events)
+	}
+	if r.Dropped != 1 {
+		t.Fatalf("Dropped = %d", r.Dropped)
+	}
+	if !strings.Contains(r.Summary(), "dropped=1") {
+		t.Fatal("summary missing drop count")
+	}
+}
+
+func TestNoTracerIsFree(t *testing.T) {
+	eng := sim.NewEngine()
+	if eng.Tracing() {
+		t.Fatal("fresh engine should not trace")
+	}
+	eng.Tracef("x", "nothing %d", 42) // must not panic
+	eng.SetTracer(&Recorder{})
+	if !eng.Tracing() {
+		t.Fatal("tracer not installed")
+	}
+	eng.SetTracer(nil)
+	if eng.Tracing() {
+		t.Fatal("tracer not removed")
+	}
+}

@@ -1,0 +1,22 @@
+package units_test
+
+import (
+	"fmt"
+
+	"e2edt/internal/units"
+)
+
+func ExampleFormatRate() {
+	fmt.Println(units.FormatRate(units.FromGbps(91)))
+	fmt.Println(units.FormatRate(500 * units.Mbps))
+	// Output:
+	// 91.0 Gbps
+	// 500 Mbps
+}
+
+func ExampleParseBlockSize() {
+	n, _ := units.ParseBlockSize("4MB")
+	fmt.Println(n, units.FormatBytes(n))
+	// Output:
+	// 4194304 4MB
+}

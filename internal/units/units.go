@@ -1,0 +1,102 @@
+// Package units defines byte-count and bandwidth units plus human-readable
+// formatting used throughout the simulator and the benchmark harness.
+package units
+
+import "fmt"
+
+// Byte counts. These are exact binary sizes (KiB-style) because block sizes
+// in the paper (4 MB blocks, 50 GB LUNs, ...) follow storage conventions.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// Bandwidth values are bytes per second (float64). The paper quotes link
+// speeds in bits per second, so conversion helpers are provided.
+const (
+	// BitsPerByte converts bit rates to byte rates.
+	BitsPerByte = 8.0
+	// Gbps is one gigabit per second expressed in bytes/second
+	// (decimal giga, as network link rates are decimal).
+	Gbps = 1e9 / BitsPerByte
+	// Mbps is one megabit per second in bytes/second.
+	Mbps = 1e6 / BitsPerByte
+	// GBps is one gigabyte per second (decimal) in bytes/second.
+	GBps = 1e9
+	// MBps is one megabyte per second (decimal) in bytes/second.
+	MBps = 1e6
+)
+
+// ToGbps converts a byte rate into gigabits per second.
+func ToGbps(bytesPerSec float64) float64 { return bytesPerSec * BitsPerByte / 1e9 }
+
+// ToMBps converts a byte rate into decimal megabytes per second.
+func ToMBps(bytesPerSec float64) float64 { return bytesPerSec / 1e6 }
+
+// ToGBps converts a byte rate into decimal gigabytes per second.
+func ToGBps(bytesPerSec float64) float64 { return bytesPerSec / 1e9 }
+
+// FromGbps converts gigabits per second into bytes per second.
+func FromGbps(gbps float64) float64 { return gbps * 1e9 / BitsPerByte }
+
+// FormatBytes renders a byte count with a binary-unit suffix (e.g. "4MB",
+// "256KB", "1.5GB"), matching how the paper labels block sizes.
+func FormatBytes(n int64) string {
+	type unit struct {
+		size   int64
+		suffix string
+	}
+	for _, u := range []unit{{TB, "TB"}, {GB, "GB"}, {MB, "MB"}, {KB, "KB"}} {
+		if n < u.size {
+			continue
+		}
+		if n%u.size == 0 {
+			return fmt.Sprintf("%d%s", n/u.size, u.suffix)
+		}
+		return fmt.Sprintf("%.1f%s", float64(n)/float64(u.size), u.suffix)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// FormatRate renders a byte rate as "X.X Gbps" (or Mbps below 1 Gbps),
+// the unit the paper reports bandwidth in.
+func FormatRate(bytesPerSec float64) string {
+	g := ToGbps(bytesPerSec)
+	if g >= 1 {
+		return fmt.Sprintf("%.1f Gbps", g)
+	}
+	return fmt.Sprintf("%.0f Mbps", bytesPerSec*BitsPerByte/1e6)
+}
+
+// ParseBlockSize converts strings like "4MB", "256KB", "64K", "1M" into a
+// byte count. It accepts the suffixes B, K/KB, M/MB, G/GB (case-insensitive).
+func ParseBlockSize(s string) (int64, error) {
+	var value float64
+	var suffix string
+	if _, err := fmt.Sscanf(s, "%f%s", &value, &suffix); err != nil {
+		if _, err2 := fmt.Sscanf(s, "%f", &value); err2 != nil {
+			return 0, fmt.Errorf("units: cannot parse block size %q", s)
+		}
+		suffix = "B"
+	}
+	var mult int64
+	switch suffix {
+	case "B", "b", "":
+		mult = 1
+	case "K", "k", "KB", "kb", "KiB":
+		mult = KB
+	case "M", "m", "MB", "mb", "MiB":
+		mult = MB
+	case "G", "g", "GB", "gb", "GiB":
+		mult = GB
+	default:
+		return 0, fmt.Errorf("units: unknown size suffix %q in %q", suffix, s)
+	}
+	n := int64(value * float64(mult))
+	if n <= 0 {
+		return 0, fmt.Errorf("units: non-positive block size %q", s)
+	}
+	return n, nil
+}

@@ -1,0 +1,109 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConversionsRoundTrip(t *testing.T) {
+	if got := ToGbps(FromGbps(40)); got != 40 {
+		t.Fatalf("round trip 40 Gbps = %v", got)
+	}
+	if got := ToGbps(Gbps); got != 1 {
+		t.Fatalf("ToGbps(Gbps) = %v, want 1", got)
+	}
+	if got := ToMBps(MBps); got != 1 {
+		t.Fatalf("ToMBps(MBps) = %v, want 1", got)
+	}
+	if got := ToGBps(GBps); got != 1 {
+		t.Fatalf("ToGBps(GBps) = %v, want 1", got)
+	}
+}
+
+func TestConversionRoundTripProperty(t *testing.T) {
+	f := func(g float64) bool {
+		if g < 0 || g > 1e6 {
+			return true
+		}
+		back := ToGbps(FromGbps(g))
+		return back >= g*(1-1e-12) && back <= g*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{KB, "1KB"},
+		{4 * MB, "4MB"},
+		{256 * KB, "256KB"},
+		{50 * GB, "50GB"},
+		{2 * TB, "2TB"},
+		{3 * MB / 2, "1.5MB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	if got := FormatRate(FromGbps(91)); got != "91.0 Gbps" {
+		t.Errorf("FormatRate(91Gbps) = %q", got)
+	}
+	if got := FormatRate(FromGbps(0.5)); got != "500 Mbps" {
+		t.Errorf("FormatRate(0.5Gbps) = %q", got)
+	}
+}
+
+func TestParseBlockSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"4MB", 4 * MB},
+		{"4M", 4 * MB},
+		{"256KB", 256 * KB},
+		{"64K", 64 * KB},
+		{"1G", GB},
+		{"1024", 1024},
+		{"0.5M", MB / 2},
+	}
+	for _, c := range cases {
+		got, err := ParseBlockSize(c.in)
+		if err != nil {
+			t.Errorf("ParseBlockSize(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBlockSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBlockSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "4X", "-1M", "0"} {
+		if _, err := ParseBlockSize(in); err == nil {
+			t.Errorf("ParseBlockSize(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, n := range []int64{KB, 64 * KB, 256 * KB, MB, 4 * MB, 16 * MB, GB} {
+		s := FormatBytes(n)
+		back, err := ParseBlockSize(s)
+		if err != nil {
+			t.Fatalf("ParseBlockSize(FormatBytes(%d)=%q): %v", n, s, err)
+		}
+		if back != n {
+			t.Fatalf("round trip %d → %q → %d", n, s, back)
+		}
+	}
+}
