@@ -1,0 +1,26 @@
+# Developer entry points. `make verify` is what CI runs.
+
+GO ?= go
+
+.PHONY: build test race vet fmt verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+verify: fmt vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -1,0 +1,141 @@
+// Command xfersched runs the multi-tenant transfer scheduling service over
+// the simulated Figure 5 system: it generates a job trace, replays it
+// through admission control, weighted fair-share stream arbitration and
+// failure-driven retry, and prints per-tenant, per-job and aggregate
+// outcome tables.
+//
+// Usage:
+//
+//	xfersched                            # default 24-job mixed trace
+//	xfersched -jobs 40 -rate 120         # 40 jobs offered at 120 jobs/min
+//	xfersched -tenants astro:3,bio:1     # tenant weights (mix + fair share)
+//	xfersched -fail 5 -failfor 10        # front link 0 dark from t=5s to t=15s
+//	xfersched -concurrent 8 -streams 12  # admission and stream budgets
+//	xfersched -seed 7 -md -v             # reseed, markdown, per-job table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"e2edt/internal/core"
+	"e2edt/internal/metrics"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+	"e2edt/internal/xfersched"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 24, "trace length (number of jobs)")
+	rate := flag.Float64("rate", 30, "offered load in jobs per minute")
+	seed := flag.Int64("seed", 1, "trace PRNG seed")
+	minSize := flag.String("min", "2GB", "minimum job size")
+	maxSize := flag.String("max", "12GB", "maximum job size")
+	gridftp := flag.Float64("gridftp", 0.2, "fraction of jobs using the GridFTP baseline")
+	reverse := flag.Float64("reverse", 0.25, "fraction of jobs flowing B→A")
+	tenants := flag.String("tenants", "astro:2,bio:1,climate:1", "tenant:weight list")
+	concurrent := flag.Int("concurrent", 4, "admission cap on running jobs")
+	streams := flag.Int("streams", 6, "total RFTP stream budget across running jobs")
+	failAt := flag.Float64("fail", 0, "fail front link 0 at this virtual second (0 = no failure)")
+	failFor := flag.Float64("failfor", 10, "failure window length in virtual seconds")
+	limit := flag.Float64("limit", 7200, "virtual-time budget in seconds")
+	md := flag.Bool("md", false, "emit tables as markdown")
+	verbose := flag.Bool("v", false, "include the per-job table")
+	flag.Parse()
+
+	minB, err := units.ParseBlockSize(*minSize)
+	if err != nil {
+		fatal(err)
+	}
+	maxB, err := units.ParseBlockSize(*maxSize)
+	if err != nil {
+		fatal(err)
+	}
+	tList, err := parseTenants(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := core.DefaultOptions()
+	opt.DatasetSize = 2 * units.GB
+	sys, err := core.NewSystem(opt)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := xfersched.DefaultConfig()
+	cfg.MaxConcurrent = *concurrent
+	cfg.StreamBudget = *streams
+	s, err := xfersched.New(sys, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+
+	tc := xfersched.TraceConfig{
+		Seed:            *seed,
+		Jobs:            *jobs,
+		JobsPerMinute:   *rate,
+		Tenants:         tList,
+		MinBytes:        minB,
+		MaxBytes:        maxB,
+		GridFTPFraction: *gridftp,
+		ReverseFraction: *reverse,
+		PriorityLevels:  2,
+	}
+	s.WithTenantWeights(tList)
+	s.SubmitTrace(xfersched.GenerateTrace(tc))
+	if *failAt > 0 {
+		s.FailLink(sys.TB.FrontLinks[0], sim.Time(*failAt), sim.Duration(*failFor))
+	}
+	done := s.RunToCompletion(sim.Duration(*limit))
+
+	r := s.Report()
+	tables := []*metrics.Table{r.SummaryTable(), r.TenantTable()}
+	if *verbose {
+		tables = append(tables, s.JobTable())
+	}
+	for _, tb := range tables {
+		if *md {
+			fmt.Println(tb.Markdown())
+		} else {
+			fmt.Println(tb)
+		}
+	}
+	if !done {
+		fmt.Fprintf(os.Stderr, "xfersched: virtual-time budget %.0fs exhausted with jobs unfinished\n", *limit)
+		os.Exit(1)
+	}
+}
+
+// parseTenants reads "name:weight,name:weight" (weight defaults to 1).
+func parseTenants(s string) ([]xfersched.TraceTenant, error) {
+	var out []xfersched.TraceTenant
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, found := strings.Cut(part, ":")
+		w := 1.0
+		if found {
+			var err error
+			w, err = strconv.ParseFloat(wstr, 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad tenant weight %q", part)
+			}
+		}
+		out = append(out, xfersched.TraceTenant{Name: name, Weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xfersched:", err)
+	os.Exit(1)
+}

@@ -189,8 +189,21 @@ func (s *System) ends(dir Direction) (*Side, *Side) {
 func (s *System) StartRFTP(dir Direction, cfg rftp.Config, p rftp.Params,
 	size float64, onDone func(now sim.Time)) (*rftp.Transfer, error) {
 	snd, rcv := s.ends(dir)
-	src := pipe.FileReader{File: snd.Dataset, Direct: true}
-	dst := pipe.FileWriter{File: rcv.Output, Direct: true}
+	return s.StartRFTPOn(dir, cfg, p, snd.Dataset, rcv.Output, size, onDone)
+}
+
+// StartRFTPOn launches an RFTP transfer between explicit files (created
+// with CreateJobFiles, or any files on the matching sides). Any number of
+// transfers may run concurrently on a live System — they contend for the
+// shared fabric, SAN and CPU resources with independent accounting.
+func (s *System) StartRFTPOn(dir Direction, cfg rftp.Config, p rftp.Params,
+	srcFile, dstFile *fsim.File, size float64, onDone func(now sim.Time)) (*rftp.Transfer, error) {
+	if srcFile == nil || dstFile == nil {
+		return nil, fmt.Errorf("core: transfer needs source and destination files")
+	}
+	snd, _ := s.ends(dir)
+	src := pipe.FileReader{File: srcFile, Direct: true}
+	dst := pipe.FileWriter{File: dstFile, Direct: true}
 	return rftp.Start(s.TB.FrontLinks, snd.Front, cfg, p, src, dst, size, onDone)
 }
 
@@ -215,9 +228,82 @@ func (s *System) StartRFTPSet(dir Direction, cfg rftp.Config, p rftp.Params,
 func (s *System) StartGridFTP(dir Direction, cfg gridftp.Config,
 	size float64, onDone func(now sim.Time)) (*gridftp.Transfer, error) {
 	snd, rcv := s.ends(dir)
-	src := pipe.FileReader{File: snd.Dataset, Direct: false}
-	dst := pipe.FileWriter{File: rcv.Output, Direct: false}
+	return s.StartGridFTPOn(dir, cfg, snd.Dataset, rcv.Output, size, onDone)
+}
+
+// StartGridFTPOn launches a GridFTP transfer between explicit files, the
+// buffered-I/O counterpart of StartRFTPOn.
+func (s *System) StartGridFTPOn(dir Direction, cfg gridftp.Config,
+	srcFile, dstFile *fsim.File, size float64, onDone func(now sim.Time)) (*gridftp.Transfer, error) {
+	if srcFile == nil || dstFile == nil {
+		return nil, fmt.Errorf("core: transfer needs source and destination files")
+	}
+	snd, _ := s.ends(dir)
+	src := pipe.FileReader{File: srcFile, Direct: false}
+	dst := pipe.FileWriter{File: dstFile, Direct: false}
 	return gridftp.Start(s.TB.FrontLinks, snd.Front, cfg, src, dst, size, onDone)
+}
+
+// CreateJobFiles allocates a per-job (source, destination) file pair for a
+// transfer in the given direction: a dataset file on the sender's SAN and
+// an output file on the receiver's, both striped like any other file. It is
+// the multi-tenant counterpart of the pre-created Dataset/Output pair —
+// concurrent jobs get disjoint files so filesystem capacity is a real,
+// per-side constraint. Remove the pair with RemoveJobFiles when the job is
+// done.
+func (s *System) CreateJobFiles(dir Direction, name string, size int64) (src, dst *fsim.File, err error) {
+	snd, rcv := s.ends(dir)
+	src, err = snd.FS.Create("job/"+name+"/in", size)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: job source: %w", err)
+	}
+	dst, err = rcv.FS.Create("job/"+name+"/out", size)
+	if err != nil {
+		snd.FS.Remove("job/" + name + "/in")
+		return nil, nil, fmt.Errorf("core: job destination: %w", err)
+	}
+	return src, dst, nil
+}
+
+// RemoveJobFiles frees the file pair created by CreateJobFiles.
+func (s *System) RemoveJobFiles(dir Direction, name string) error {
+	snd, rcv := s.ends(dir)
+	if err := snd.FS.Remove("job/" + name + "/in"); err != nil {
+		return err
+	}
+	return rcv.FS.Remove("job/" + name + "/out")
+}
+
+// FrontCapacity returns the aggregate payload capacity of the front-end
+// fabric in one direction (line rate × framing efficiency, summed over the
+// links), in bytes/second.
+func (s *System) FrontCapacity() float64 {
+	total := 0.0
+	for _, l := range s.TB.FrontLinks {
+		total += l.Cfg.Rate * l.Cfg.Efficiency()
+	}
+	return total
+}
+
+// FrontHeadroom returns the payload bandwidth still unallocated on the
+// front-end links leaving the given direction's sender, as of the last
+// fluid solve. A scheduler uses this to gauge per-side resource headroom
+// before admitting more work.
+func (s *System) FrontHeadroom(dir Direction) float64 {
+	snd, _ := s.ends(dir)
+	head := 0.0
+	for _, l := range s.TB.FrontLinks {
+		nic := l.A
+		if l.B.Host == snd.Front {
+			nic = l.B
+		}
+		r := l.Dir(nic)
+		free := r.Capacity - r.Load()
+		if free > 0 {
+			head += free * l.Cfg.Efficiency()
+		}
+	}
+	return head
 }
 
 // MeasureCeiling measures the narrowest section of the end-to-end path the

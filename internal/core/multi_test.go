@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"e2edt/internal/rftp"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+// smallOpt keeps the pre-created Dataset/Output pair small so per-job files
+// fit alongside them.
+func smallOpt() Options {
+	opt := DefaultOptions()
+	opt.DatasetSize = 2 * units.GB
+	return opt
+}
+
+// TestConcurrentJobsShareSystem is the multi-transfer regression test: two
+// RFTP jobs started on a live System (same direction, disjoint job files)
+// must both complete with uncorrupted bandwidth and CPU accounting.
+func TestConcurrentJobsShareSystem(t *testing.T) {
+	sys := newSys(t, smallOpt())
+	size := 20 * float64(units.GB)
+	cfg := rftp.DefaultConfig()
+	p := rftp.DefaultParams()
+
+	var done [2]sim.Time
+	var trs [2]*rftp.Transfer
+	for i := 0; i < 2; i++ {
+		name := string(rune('a' + i))
+		src, dst, err := sys.CreateJobFiles(Forward, name, int64(size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		tr, err := sys.StartRFTPOn(Forward, cfg, p, src, dst, size,
+			func(now sim.Time) { done[i] = now })
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	sys.Engine().Run()
+	for i := range done {
+		if done[i] <= 0 {
+			t.Fatalf("job %d never completed", i)
+		}
+		if got := trs[i].Transferred(); math.Abs(got-size)/size > 1e-6 {
+			t.Fatalf("job %d moved %v of %v", i, got, size)
+		}
+	}
+
+	// Bandwidth accounting: wire bytes tagged "rftp" must equal the summed
+	// payload × control/framing overhead, exactly as for a single transfer.
+	s := sys.TB.Sim
+	s.Sync()
+	wire := 0.0
+	for _, l := range sys.TB.FrontLinks {
+		wire += s.Usage(l.Dir(l.A), "rftp")
+	}
+	payload := trs[0].Transferred() + trs[1].Transferred()
+	expect := payload * (1 + p.CtrlBytesPerBlock/float64(cfg.BlockSize)) / (9000.0 / 9090.0)
+	if math.Abs(wire-expect)/expect > 1e-6 {
+		t.Fatalf("wire bytes %v, want %v: accounting corrupted by second job", wire, expect)
+	}
+
+	// CPU accounting: a single job of the combined size on a fresh system
+	// must burn the same user-category CPU (same bytes, same per-byte cost).
+	ref := newSys(t, smallOpt())
+	src, dst, err := ref.CreateJobFiles(Forward, "ref", int64(2*size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ref.StartRFTPOn(Forward, cfg, p, src, dst, 2*size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Engine().Run()
+	if got := rt.Transferred(); math.Abs(got-2*size)/size > 1e-6 {
+		t.Fatalf("reference moved %v of %v", got, 2*size)
+	}
+	twoJobs := sys.A.Front.HostCPUReport().ByCategory["user"]
+	oneJob := ref.A.Front.HostCPUReport().ByCategory["user"]
+	if math.Abs(twoJobs-oneJob)/oneJob > 1e-6 {
+		t.Fatalf("user CPU for 2×%v bytes = %v, single %v-byte job = %v",
+			size, twoJobs, 2*size, oneJob)
+	}
+}
+
+func TestJobFilesRespectCapacity(t *testing.T) {
+	sys := newSys(t, smallOpt())
+	free := sys.A.FS.Free()
+	if _, _, err := sys.CreateJobFiles(Forward, "big", free+1); err == nil {
+		t.Fatal("oversized job file should fail")
+	}
+	// A failed pair must not leak the source allocation.
+	if _, _, err := sys.CreateJobFiles(Forward, "big", free+1); err == nil {
+		t.Fatal("oversized job file should still fail")
+	}
+	src, dst, err := sys.CreateJobFiles(Forward, "ok", units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src == nil || dst == nil {
+		t.Fatal("job files missing")
+	}
+	if err := sys.RemoveJobFiles(Forward, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.A.FS.Free() != free {
+		t.Fatalf("capacity leaked: free %d, want %d", sys.A.FS.Free(), free)
+	}
+}
+
+func TestFrontHeadroomTracksLoad(t *testing.T) {
+	sys := newSys(t, smallOpt())
+	cap := sys.FrontCapacity()
+	if cap <= 0 {
+		t.Fatal("front capacity unset")
+	}
+	idle := sys.FrontHeadroom(Forward)
+	if math.Abs(idle-cap)/cap > 1e-9 {
+		t.Fatalf("idle headroom %v, want full capacity %v", idle, cap)
+	}
+	tr, err := sys.StartRFTP(Forward, rftp.DefaultConfig(), rftp.DefaultParams(), math.Inf(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Engine().RunFor(2)
+	busy := sys.FrontHeadroom(Forward)
+	if busy >= idle*0.5 {
+		t.Fatalf("headroom %v barely moved from %v under a full-rate transfer", busy, idle)
+	}
+	// The reverse direction is untouched by a forward transfer.
+	if rev := sys.FrontHeadroom(Reverse); math.Abs(rev-cap)/cap > 1e-9 {
+		t.Fatalf("reverse headroom %v, want %v", rev, cap)
+	}
+	tr.Stop()
+}

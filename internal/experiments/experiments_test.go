@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "A5", "A6", "E1", "E2", "F10", "F11", "F12", "F13", "F14", "F4", "F7", "F8", "F9", "T1"}
+	want := []string{"A1", "A2", "A3", "A4", "A5", "A6", "E1", "E2", "F10", "F11", "F12", "F13", "F14", "F4", "F7", "F8", "F9", "S1", "T1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -321,6 +321,36 @@ func TestWANCPUSmoke(t *testing.T) {
 		if len(tb.Rows) != 4 {
 			t.Fatalf("want 4 stream rows, got %d", len(tb.Rows))
 		}
+	}
+}
+
+func TestSchedulerSaturationShape(t *testing.T) {
+	res := SchedulerSaturation()
+	good, wait := res.Series[0], res.Series[1]
+	// Goodput rises from underload toward a plateau: the peak must come
+	// after the first point, and the last point must hold near the peak
+	// (flat, not collapsing) while p99 wait keeps growing.
+	if good.Values[1] <= good.Values[0] {
+		t.Fatalf("goodput not rising at low load: %v", good.Values)
+	}
+	peak := good.Max()
+	last := good.Values[good.Len()-1]
+	if last < 0.7*peak {
+		t.Fatalf("goodput collapsed past the knee: last %v, peak %v", last, peak)
+	}
+	if wait.Values[wait.Len()-1] <= wait.Values[0] {
+		t.Fatalf("p99 wait did not grow with load: %v", wait.Values)
+	}
+	if wait.Values[wait.Len()-1] < 2*wait.Values[wait.Len()/2] {
+		t.Fatalf("p99 wait should keep growing past the knee: %v", wait.Values)
+	}
+	// Failure-injection table: every job done, none lost, retries observed.
+	frow := res.Tables[1].Rows[0]
+	if frow[0] != "40/40" || frow[1] != "0" {
+		t.Fatalf("outage run lost jobs: %v", frow)
+	}
+	if frow[2] == "0" {
+		t.Fatalf("outage run saw no retries: %v", frow)
 	}
 }
 

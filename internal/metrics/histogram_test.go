@@ -148,3 +148,82 @@ func TestHistogramSummaryAndBuckets(t *testing.T) {
 		t.Fatal("buckets empty")
 	}
 }
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(1e-3)
+	h.Observe(0.042)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Every quantile of a one-sample distribution is that sample: the
+	// bucket edge answer must be clamped to the observed extremes.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.042 {
+			t.Fatalf("Quantile(%v) = %v, want the single sample 0.042", q, got)
+		}
+	}
+	if h.Mean() != 0.042 || h.Min() != 0.042 || h.Max() != 0.042 {
+		t.Fatalf("mean/min/max = %v/%v/%v", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileExtremes(t *testing.T) {
+	h := NewHistogram(1e-3)
+	for _, v := range []float64{0.010, 0.020, 0.500, 3.000} {
+		h.Observe(v)
+	}
+	// q=0 is the minimum, q=1 the maximum, exactly (not a bucket edge).
+	if got := h.Quantile(0); got != 0.010 {
+		t.Fatalf("Quantile(0) = %v, want min 0.010", got)
+	}
+	if got := h.Quantile(1); got != 3.000 {
+		t.Fatalf("Quantile(1) = %v, want max 3.000", got)
+	}
+	// Out-of-range q clamps rather than panics or extrapolates.
+	if got := h.Quantile(-0.5); got != 0.010 {
+		t.Fatalf("Quantile(-0.5) = %v, want min", got)
+	}
+	if got := h.Quantile(1.5); got != 3.000 {
+		t.Fatalf("Quantile(1.5) = %v, want max", got)
+	}
+}
+
+func TestHistogramSubResolutionSamples(t *testing.T) {
+	// Samples at or below the resolution all collapse into bucket 0; the
+	// min/max clamp must still give exact answers.
+	h := NewHistogram(1e-3)
+	h.Observe(1e-5)
+	h.Observe(2e-5)
+	h.Observe(1e-3)
+	if got := h.Quantile(0.5); got < 1e-5 || got > 1e-3 {
+		t.Fatalf("Quantile(0.5) = %v outside observed range", got)
+	}
+	if h.Min() != 1e-5 || h.Max() != 1e-3 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramZeroSample(t *testing.T) {
+	h := NewHistogram(1e-3)
+	h.Observe(0)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("zero sample mishandled")
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("Quantile(0.99) = %v, want 0", got)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	a, b := NewHistogram(1e-3), NewHistogram(1e-3)
+	a.Observe(1)
+	a.Merge(b)   // empty other: no-op
+	a.Merge(nil) // nil other: no-op
+	if a.Count() != 1 || a.Min() != 1 || a.Max() != 1 {
+		t.Fatal("merging empty changed the histogram")
+	}
+	b.Merge(a)
+	if b.Count() != 1 || b.Quantile(0.5) != 1 {
+		t.Fatal("merging into empty lost the sample")
+	}
+}

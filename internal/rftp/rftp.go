@@ -50,6 +50,10 @@ type Params struct {
 	// ChecksumCyclesPerByte is the per-side cost of end-to-end integrity
 	// verification when Config.Checksum is on (CRC32C-class).
 	ChecksumCyclesPerByte float64
+	// StartOffset resumes a finite transfer from byte N: the session moves
+	// only the tail, Size−StartOffset bytes, as when a retry picks up a
+	// partially-completed transfer. Open-ended (+Inf) transfers ignore it.
+	StartOffset int64
 	// RDMA parameterizes the verbs layer.
 	RDMA rdma.Params
 }
@@ -118,7 +122,7 @@ type stream struct {
 type Transfer struct {
 	Cfg    Config
 	P      Params
-	Size   float64 // total bytes; +Inf for open-ended
+	Size   float64 // bytes this session moves (size − Params.StartOffset); +Inf for open-ended
 	Sender *host.Host
 
 	streams  []*stream
@@ -146,6 +150,15 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 	}
 	if size <= 0 && !math.IsInf(size, 1) {
 		return nil, fmt.Errorf("rftp: size must be positive or +Inf")
+	}
+	if p.StartOffset < 0 {
+		return nil, fmt.Errorf("rftp: StartOffset must be non-negative")
+	}
+	if !math.IsInf(size, 1) && p.StartOffset > 0 {
+		if float64(p.StartOffset) >= size {
+			return nil, fmt.Errorf("rftp: StartOffset %d beyond size %g", p.StartOffset, size)
+		}
+		size -= float64(p.StartOffset)
 	}
 	t := &Transfer{
 		Cfg: cfg, P: p, Size: size, Sender: senderHost,

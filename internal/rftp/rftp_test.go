@@ -298,3 +298,71 @@ func TestTwoSessionsShareWANFairly(t *testing.T) {
 		t.Fatalf("combined = %.1f Gbps, want ≈39", total)
 	}
 }
+
+func TestStartOffsetValidation(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	bad := DefaultParams()
+	bad.StartOffset = -1
+	if _, err := Start(p.Links, p.A, DefaultConfig(), bad, pipe.Zero{}, pipe.Null{}, float64(units.GB), nil); err == nil {
+		t.Error("negative StartOffset should fail")
+	}
+	bad.StartOffset = units.GB
+	if _, err := Start(p.Links, p.A, DefaultConfig(), bad, pipe.Zero{}, pipe.Null{}, float64(units.GB), nil); err == nil {
+		t.Error("StartOffset at EOF should fail")
+	}
+}
+
+func TestStartOffsetResumesTransfer(t *testing.T) {
+	// A transfer stopped halfway and resumed with StartOffset must move the
+	// same total bytes as an uninterrupted one.
+	size := 12 * float64(units.GB)
+
+	// Uninterrupted reference.
+	ref := testbed.NewMotivatingPair()
+	refTr, err := Start(ref.Links, ref.A, DefaultConfig(), DefaultParams(),
+		pipe.Zero{}, pipe.Null{}, size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Eng.Run()
+	total := refTr.Transferred()
+	if math.Abs(total-size)/size > 1e-6 {
+		t.Fatalf("reference moved %v of %v", total, size)
+	}
+
+	// Interrupted: run to roughly half, stop, resume from the byte offset.
+	p := testbed.NewMotivatingPair()
+	tr, err := Start(p.Links, p.A, DefaultConfig(), DefaultParams(),
+		pipe.Zero{}, pipe.Null{}, size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunFor(0.4)
+	firstHalf := tr.Transferred()
+	if firstHalf <= 0 || firstHalf >= size {
+		t.Fatalf("first attempt moved %v, want partial progress", firstHalf)
+	}
+	tr.Stop()
+
+	resumeP := DefaultParams()
+	resumeP.StartOffset = int64(firstHalf)
+	var doneAt sim.Time
+	resumed, err := Start(p.Links, p.A, DefaultConfig(), resumeP,
+		pipe.Zero{}, pipe.Null{}, size, func(now sim.Time) { doneAt = now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.Run()
+	if doneAt <= 0 {
+		t.Fatal("resumed transfer never completed")
+	}
+	secondHalf := resumed.Transferred()
+	want := size - float64(int64(firstHalf))
+	if math.Abs(secondHalf-want)/size > 1e-6 {
+		t.Fatalf("resumed session moved %v, want %v", secondHalf, want)
+	}
+	moved := float64(int64(firstHalf)) + secondHalf
+	if math.Abs(moved-total)/size > 1e-6 {
+		t.Fatalf("interrupted run moved %v total, uninterrupted moved %v", moved, total)
+	}
+}

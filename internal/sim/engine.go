@@ -260,3 +260,39 @@ func (t *Ticker) Stop() {
 	t.stopped = true
 	t.engine.Cancel(t.ev)
 }
+
+// Timer is a one-shot virtual-time timer that can be cancelled or re-armed,
+// for retry backoff and watchdog deadlines: unlike a raw Event, resetting a
+// Timer supersedes its pending firing instead of stacking a second one.
+type Timer struct {
+	engine *Engine
+	fn     func(Time)
+	ev     *Event
+}
+
+// NewTimer schedules fn to run once after d. Reset re-arms it; Stop cancels
+// a pending firing.
+func (e *Engine) NewTimer(d Duration, fn func(Time)) *Timer {
+	if fn == nil {
+		panic("sim: nil timer callback")
+	}
+	t := &Timer{engine: e, fn: fn}
+	t.Reset(d)
+	return t
+}
+
+// Reset cancels any pending firing and re-arms the timer for now+d.
+func (t *Timer) Reset(d Duration) {
+	t.engine.Cancel(t.ev)
+	ev := t.engine.Schedule(d, func() { t.fn(t.engine.Now()) })
+	t.ev = ev
+}
+
+// Stop cancels the pending firing, if any. The timer can be re-armed with
+// Reset afterwards.
+func (t *Timer) Stop() { t.engine.Cancel(t.ev) }
+
+// Active reports whether a firing is pending.
+func (t *Timer) Active() bool {
+	return t.ev != nil && !t.ev.Fired() && !t.ev.Cancelled()
+}

@@ -261,3 +261,57 @@ func TestEventAccessors(t *testing.T) {
 		t.Fatal("event not marked fired")
 	}
 }
+
+func TestTimerFiresOnce(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	tm := e.NewTimer(3, func(now Time) { fired = append(fired, now) })
+	if !tm.Active() {
+		t.Fatal("armed timer not active")
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired = %v, want [3]", fired)
+	}
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.NewTimer(3, func(Time) { fired = true })
+	tm.Stop()
+	if tm.Active() {
+		t.Fatal("stopped timer still active")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerResetSupersedes(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	tm := e.NewTimer(3, func(now Time) { fired = append(fired, now) })
+	e.RunUntil(1)
+	tm.Reset(10) // supersedes the pending t=3 firing
+	e.Run()
+	if len(fired) != 1 || fired[0] != 11 {
+		t.Fatalf("fired = %v, want [11]", fired)
+	}
+}
+
+func TestTimerRearmAfterFiring(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tm := e.NewTimer(1, func(Time) { count++ })
+	e.Run()
+	tm.Reset(2)
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}

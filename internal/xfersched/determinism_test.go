@@ -1,0 +1,97 @@
+package xfersched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"e2edt/internal/core"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+// fingerprint renders every bit-relevant outcome of a run: per-job start,
+// finish and retry counts with exact float bits (%x), plus the aggregate
+// report numbers.
+func fingerprint(s *Scheduler) string {
+	var b strings.Builder
+	for _, j := range s.Jobs() {
+		fmt.Fprintf(&b, "%s %s %x %x %d %d\n",
+			j.Spec.ID, j.State, float64(j.FirstStart), float64(j.Finished),
+			j.Retries, j.streams)
+	}
+	r := s.Report()
+	fmt.Fprintf(&b, "agg %x %x %x %d\n",
+		r.AggregateGoodput, r.P99Wait, r.MeanSlowdown, r.TotalRetries)
+	return b.String()
+}
+
+// runTrace executes one full scheduler run over a fresh system, with a
+// mid-run link failure to exercise the retry path too.
+func runTrace(t *testing.T, tc TraceConfig) string {
+	t.Helper()
+	opt := core.DefaultOptions()
+	opt.DatasetSize = 2 * units.GB
+	sys, err := core.NewSystem(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 3
+	s, err := New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.WithTenantWeights(tc.Tenants)
+	s.SubmitTrace(GenerateTrace(tc))
+	s.FailLink(sys.TB.FrontLinks[0], 5, 8*sim.Second)
+	if !s.RunToCompletion(1200 * sim.Second) {
+		t.Fatal("trace did not finish")
+	}
+	return fingerprint(s)
+}
+
+// TestDeterministicSchedule: the same trace on the same config produces a
+// bit-identical schedule — start times, finish times, retries, stream
+// allocations and aggregate metrics all match across two independent runs.
+func TestDeterministicSchedule(t *testing.T) {
+	tc := DefaultTraceConfig()
+	tc.Jobs = 10
+	tc.JobsPerMinute = 40
+	tc.MinBytes = units.GB
+	tc.MaxBytes = 5 * units.GB
+	a := runTrace(t, tc)
+	b := runTrace(t, tc)
+	if a != b {
+		t.Fatalf("schedules diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestTraceGeneratorDeterminism: same seed → same trace; different seed →
+// different trace.
+func TestTraceGeneratorDeterminism(t *testing.T) {
+	tc := DefaultTraceConfig()
+	a := GenerateTrace(tc)
+	b := GenerateTrace(tc)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	tc.Seed = 2
+	c := GenerateTrace(tc)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}

@@ -1,0 +1,153 @@
+package xfersched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"e2edt/internal/core"
+	"e2edt/internal/sim"
+)
+
+// TraceTenant is one tenant's share of a generated workload.
+type TraceTenant struct {
+	Name   string
+	Weight float64 // fair-share weight, also the submission mix weight
+}
+
+// TraceConfig parameterizes a synthetic job trace. The generator is
+// deterministic: the same config (including Seed) always yields the same
+// trace, which is what makes scheduler runs reproducible end to end.
+type TraceConfig struct {
+	// Seed drives the trace's PRNG.
+	Seed int64
+	// Jobs is the trace length.
+	Jobs int
+	// JobsPerMinute is the offered load; interarrivals are exponential
+	// (Poisson arrivals).
+	JobsPerMinute float64
+	// Tenants submit jobs proportionally to their weights; empty means one
+	// tenant "t0" at weight 1.
+	Tenants []TraceTenant
+	// MinBytes and MaxBytes bound the uniform job-size draw.
+	MinBytes, MaxBytes int64
+	// GridFTPFraction of jobs use the TCP baseline tool instead of RFTP.
+	GridFTPFraction float64
+	// ReverseFraction of jobs flow B→A instead of A→B.
+	ReverseFraction float64
+	// PriorityLevels draws priorities uniformly from [0, PriorityLevels);
+	// 0 or 1 gives every job priority 0.
+	PriorityLevels int
+}
+
+// DefaultTraceConfig is a moderate mixed workload for the LAN system.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Seed:          1,
+		Jobs:          24,
+		JobsPerMinute: 30,
+		Tenants: []TraceTenant{
+			{Name: "astro", Weight: 2},
+			{Name: "bio", Weight: 1},
+			{Name: "climate", Weight: 1},
+		},
+		MinBytes:        2 << 30, // 2 GB
+		MaxBytes:        12 << 30,
+		ReverseFraction: 0.25,
+		PriorityLevels:  2,
+	}
+}
+
+// TimedJob is one trace entry: a job and its submission time.
+type TimedJob struct {
+	At   sim.Time
+	Spec JobSpec
+}
+
+// GenerateTrace expands a TraceConfig into a concrete submission schedule.
+func GenerateTrace(tc TraceConfig) []TimedJob {
+	if tc.Jobs <= 0 {
+		return nil
+	}
+	tenants := tc.Tenants
+	if len(tenants) == 0 {
+		tenants = []TraceTenant{{Name: "t0", Weight: 1}}
+	}
+	totalW := 0.0
+	for _, t := range tenants {
+		totalW += t.Weight
+	}
+	rate := tc.JobsPerMinute / 60 // jobs per virtual second
+	if rate <= 0 {
+		rate = 1
+	}
+	minB, maxB := tc.MinBytes, tc.MaxBytes
+	if minB <= 0 {
+		minB = 1 << 30
+	}
+	if maxB < minB {
+		maxB = minB
+	}
+
+	r := rand.New(rand.NewSource(tc.Seed))
+	out := make([]TimedJob, 0, tc.Jobs)
+	at := sim.Time(0)
+	for i := 0; i < tc.Jobs; i++ {
+		at += sim.Time(r.ExpFloat64() / rate)
+		pick := r.Float64() * totalW
+		tenant := tenants[len(tenants)-1].Name
+		for _, t := range tenants {
+			if pick < t.Weight {
+				tenant = t.Name
+				break
+			}
+			pick -= t.Weight
+		}
+		proto := ProtoRFTP
+		if r.Float64() < tc.GridFTPFraction {
+			proto = ProtoGridFTP
+		}
+		dir := core.Forward
+		if r.Float64() < tc.ReverseFraction {
+			dir = core.Reverse
+		}
+		prio := 0
+		if tc.PriorityLevels > 1 {
+			prio = r.Intn(tc.PriorityLevels)
+		}
+		bytes := minB
+		if maxB > minB {
+			bytes += r.Int63n(maxB - minB + 1)
+		}
+		out = append(out, TimedJob{
+			At: at,
+			Spec: JobSpec{
+				ID:       fmt.Sprintf("j%03d", i),
+				Tenant:   tenant,
+				Protocol: proto,
+				Dir:      dir,
+				Bytes:    bytes,
+				Files:    1 + r.Intn(8),
+				Priority: prio,
+			},
+		})
+	}
+	return out
+}
+
+// SubmitTrace schedules every trace entry for future submission. Call
+// before running the engine; entries at virtual time < now panic (the
+// engine rejects scheduling in the past).
+func (s *Scheduler) SubmitTrace(trace []TimedJob) {
+	for _, tj := range trace {
+		s.SubmitAt(tj.At, tj.Spec)
+	}
+}
+
+// WithTenantWeights registers the trace's tenants (with their weights) on
+// the scheduler, so arbitration matches the generated mix.
+func (s *Scheduler) WithTenantWeights(tenants []TraceTenant) *Scheduler {
+	for _, t := range tenants {
+		s.SetTenant(t.Name, t.Weight)
+	}
+	return s
+}

@@ -1,0 +1,733 @@
+// Package xfersched is a multi-tenant transfer scheduling service layered
+// on core.System: the missing tier between "one dataset, two endpoints"
+// (the paper's RFTP) and a datacenter transfer service that multiplexes
+// many tenants' jobs over shared RDMA resources.
+//
+// The scheduler accepts a stream of submitted jobs (tenant, dataset size,
+// protocol RFTP or GridFTP, direction, priority, optional deadline) and
+// drives them through three mechanisms, all in deterministic virtual time:
+//
+//   - Admission control: at most MaxConcurrent jobs run at once and each
+//     admitted job reserves a nominal slice of the front-end fabric
+//     (PerJobBW against AggregateBW); everything else waits in a
+//     priority + earliest-deadline + FIFO queue. Per-job SAN files are
+//     allocated at admission, so filesystem capacity is a third admission
+//     dimension.
+//
+//   - Weighted fair-share arbitration: a global budget of RFTP streams is
+//     re-divided among the running jobs whenever one starts or finishes.
+//     Each tenant's weight is split across its active jobs, so a tenant
+//     with twice the weight holds twice the streams regardless of how many
+//     jobs it queues. Jobs whose allocation changes are checkpointed
+//     (bytes moved so far) and restarted from that byte offset with the
+//     new stream count, paying a fresh session handshake — rebalancing has
+//     a cost, exactly as it would on the wire.
+//
+//   - Failure-driven retry: a watchdog samples per-job progress; a job
+//     that moves nothing for StallAfter (a failed fabric.Link, a dark SAN)
+//     is stopped, its completed bytes are folded into the job, and it is
+//     requeued with exponential backoff in virtual time. Retried attempts
+//     resume from the byte offset already moved (rftp.Params.StartOffset),
+//     so no byte is paid for twice.
+//
+// Determinism: the scheduler introduces no randomness of its own and
+// iterates only ordered structures, so the same job trace on the same
+// system produces a bit-identical schedule (see determinism_test.go).
+package xfersched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"e2edt/internal/core"
+	"e2edt/internal/fabric"
+	"e2edt/internal/fsim"
+	"e2edt/internal/gridftp"
+	"e2edt/internal/metrics"
+	"e2edt/internal/rftp"
+	"e2edt/internal/sim"
+)
+
+// Protocol selects the transfer tool a job uses.
+type Protocol int
+
+const (
+	// ProtoRFTP moves the job with the paper's RDMA protocol.
+	ProtoRFTP Protocol = iota
+	// ProtoGridFTP moves the job with the TCP baseline tool.
+	ProtoGridFTP
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if p == ProtoGridFTP {
+		return "gridftp"
+	}
+	return "rftp"
+}
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// StateQueued: submitted, waiting for admission.
+	StateQueued State = iota
+	// StateRunning: admitted, transfer in flight.
+	StateRunning
+	// StateBackoff: stalled, waiting out its retry delay.
+	StateBackoff
+	// StateDone: all bytes delivered.
+	StateDone
+	// StateLost: gave up after MaxAttempts stalls.
+	StateLost
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateBackoff:
+		return "backoff"
+	case StateDone:
+		return "done"
+	default:
+		return "lost"
+	}
+}
+
+// JobSpec describes one submitted transfer job.
+type JobSpec struct {
+	// ID uniquely names the job (also names its SAN files).
+	ID string
+	// Tenant is the submitting tenant; unknown tenants get weight 1.
+	Tenant string
+	// Protocol selects RFTP or GridFTP.
+	Protocol Protocol
+	// Dir is the transfer direction across the front-end fabric.
+	Dir core.Direction
+	// Bytes is the dataset size.
+	Bytes int64
+	// Files is the dataset's file count (granularity metadata carried into
+	// reports; the transfer itself moves the aggregate byte stream).
+	Files int
+	// Priority orders the queue; higher runs first.
+	Priority int
+	// Deadline is a relative completion target (0 = none). Missing it is
+	// recorded, not enforced.
+	Deadline sim.Duration
+}
+
+// Job is a submitted job's live state.
+type Job struct {
+	Spec JobSpec
+	// State is the current lifecycle position.
+	State State
+	// Submitted, FirstStart and Finished are virtual timestamps; FirstStart
+	// is zero until first admission, Finished until completion.
+	Submitted, FirstStart, Finished sim.Time
+	// Retries counts failure-driven requeues (rebalancing restarts are not
+	// retries).
+	Retries int
+	// DeadlineMissed records a blown Deadline.
+	DeadlineMissed bool
+
+	moved    float64 // bytes delivered across all attempts
+	streams  int     // current stream allocation (RFTP jobs)
+	attempt  int     // monotonically counts transfer starts
+	reserved float64 // admission bandwidth held
+	handle   handle
+	src, dst *fsim.File
+
+	lastProgress   float64
+	lastProgressAt sim.Time
+	backoff        *sim.Timer
+}
+
+// Moved returns bytes delivered so far across all attempts.
+func (j *Job) Moved() float64 { return j.moved }
+
+// Wait returns the admission wait (zero until first start).
+func (j *Job) Wait() sim.Duration {
+	if j.FirstStart == 0 {
+		return 0
+	}
+	return sim.Duration(j.FirstStart - j.Submitted)
+}
+
+// handle abstracts a running rftp or gridftp transfer.
+type handle interface {
+	Transferred() float64
+	Stop()
+}
+
+// Tenant is a registered tenant with a fair-share weight.
+type Tenant struct {
+	Name   string
+	Weight float64
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// MaxConcurrent caps simultaneously running jobs.
+	MaxConcurrent int
+	// AggregateBW caps the summed nominal bandwidth of admitted jobs
+	// (bytes/s); 0 selects the system's front-end payload capacity.
+	AggregateBW float64
+	// PerJobBW is the nominal reservation one job holds against
+	// AggregateBW; 0 selects AggregateBW/MaxConcurrent.
+	PerJobBW float64
+	// StreamBudget is the total RFTP stream count divided among running
+	// RFTP jobs; 0 selects 2 streams per front-end link.
+	StreamBudget int
+	// RFTP is the base RFTP shape (Streams is overridden per job by the
+	// fair-share arbiter).
+	RFTP rftp.Config
+	// RFTPParams calibrates RFTP costs (StartOffset is managed per job).
+	RFTPParams rftp.Params
+	// GridFTP is the shape for GridFTP jobs (streams are not arbitrated:
+	// the baseline tool has no re-division knob).
+	GridFTP gridftp.Config
+	// CheckEvery is the progress watchdog period.
+	CheckEvery sim.Duration
+	// StallAfter is the no-progress span that declares a job stalled.
+	StallAfter sim.Duration
+	// RetryBase and RetryMax bound the exponential backoff between retry
+	// attempts (base × 2^(retries−1), capped).
+	RetryBase, RetryMax sim.Duration
+	// MaxAttempts bounds transfer attempts before a job is Lost.
+	MaxAttempts int
+	// ReferenceBW is the per-job ideal rate used for the slowdown metric;
+	// 0 selects PerJobBW.
+	ReferenceBW float64
+}
+
+// DefaultConfig returns a tuned scheduler for the Figure 5 LAN system.
+func DefaultConfig() Config {
+	return Config{
+		MaxConcurrent: 4,
+		StreamBudget:  6,
+		RFTP:          rftp.DefaultConfig(),
+		RFTPParams:    rftp.DefaultParams(),
+		GridFTP:       gridftp.DefaultConfig(),
+		CheckEvery:    250 * sim.Millisecond,
+		StallAfter:    sim.Second,
+		RetryBase:     500 * sim.Millisecond,
+		RetryMax:      8 * sim.Second,
+		MaxAttempts:   12,
+	}
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxConcurrent <= 0:
+		return fmt.Errorf("xfersched: MaxConcurrent must be positive")
+	case c.CheckEvery <= 0:
+		return fmt.Errorf("xfersched: CheckEvery must be positive")
+	case c.StallAfter < c.CheckEvery:
+		return fmt.Errorf("xfersched: StallAfter must be ≥ CheckEvery")
+	case c.RetryBase <= 0 || c.RetryMax < c.RetryBase:
+		return fmt.Errorf("xfersched: retry backoff bounds invalid")
+	case c.MaxAttempts <= 0:
+		return fmt.Errorf("xfersched: MaxAttempts must be positive")
+	}
+	return nil
+}
+
+// Scheduler multiplexes jobs over one core.System.
+type Scheduler struct {
+	Sys *core.System
+	Cfg Config
+
+	eng      *sim.Engine
+	tenants  []*Tenant
+	byTenant map[string]*Tenant
+
+	queue   []*Job
+	running []*Job
+	jobs    []*Job // every submitted job, submission order
+
+	reserved       float64
+	pendingSubmits int
+	watchdog       *sim.Ticker
+
+	// WaitHist collects admission waits (seconds) for quantile reporting.
+	WaitHist *metrics.Histogram
+	// MaxQueueLen tracks the deepest backlog seen.
+	MaxQueueLen int
+}
+
+// New builds a scheduler over sys. Zero-valued Config fields take defaults
+// derived from the system's front-end capacity.
+func New(sys *core.System, cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.AggregateBW <= 0 {
+		cfg.AggregateBW = sys.FrontCapacity()
+	}
+	if cfg.PerJobBW <= 0 {
+		cfg.PerJobBW = cfg.AggregateBW / float64(cfg.MaxConcurrent)
+	}
+	if cfg.StreamBudget <= 0 {
+		cfg.StreamBudget = 2 * len(sys.TB.FrontLinks)
+	}
+	if cfg.ReferenceBW <= 0 {
+		cfg.ReferenceBW = cfg.PerJobBW
+	}
+	s := &Scheduler{
+		Sys: sys, Cfg: cfg,
+		eng:      sys.Engine(),
+		byTenant: make(map[string]*Tenant),
+		WaitHist: metrics.NewHistogram(1e-3),
+	}
+	s.watchdog = s.eng.NewTicker(cfg.CheckEvery, s.check)
+	return s, nil
+}
+
+// SetTenant registers (or reweights) a tenant.
+func (s *Scheduler) SetTenant(name string, weight float64) {
+	if weight <= 0 {
+		panic("xfersched: tenant weight must be positive")
+	}
+	if t, ok := s.byTenant[name]; ok {
+		t.Weight = weight
+		return
+	}
+	t := &Tenant{Name: name, Weight: weight}
+	s.byTenant[name] = t
+	s.tenants = append(s.tenants, t)
+}
+
+// tenant resolves (auto-registering at weight 1) a job's tenant.
+func (s *Scheduler) tenant(name string) *Tenant {
+	if t, ok := s.byTenant[name]; ok {
+		return t
+	}
+	s.SetTenant(name, 1)
+	return s.byTenant[name]
+}
+
+// Submit enqueues a job at the current virtual time and runs an admission
+// pass. It returns the live job handle.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if spec.ID == "" {
+		return nil, fmt.Errorf("xfersched: job needs an ID")
+	}
+	if spec.Bytes <= 0 {
+		return nil, fmt.Errorf("xfersched: job %s needs positive Bytes", spec.ID)
+	}
+	for _, j := range s.jobs {
+		if j.Spec.ID == spec.ID {
+			return nil, fmt.Errorf("xfersched: duplicate job ID %q", spec.ID)
+		}
+	}
+	s.tenant(spec.Tenant)
+	j := &Job{Spec: spec, State: StateQueued, Submitted: s.eng.Now()}
+	s.jobs = append(s.jobs, j)
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.MaxQueueLen {
+		s.MaxQueueLen = len(s.queue)
+	}
+	s.schedule(s.eng.Now())
+	return j, nil
+}
+
+// SubmitAt schedules a future submission (for replaying job traces).
+func (s *Scheduler) SubmitAt(at sim.Time, spec JobSpec) {
+	s.pendingSubmits++
+	s.eng.At(at, func() {
+		s.pendingSubmits--
+		if _, err := s.Submit(spec); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// FailLink schedules a failure window on a link: down at `at`, restored
+// after `dur`. Jobs crossing it stall and retry.
+func (s *Scheduler) FailLink(l *fabric.Link, at sim.Time, dur sim.Duration) {
+	s.eng.At(at, l.Fail)
+	s.eng.At(at+sim.Time(dur), l.Restore)
+}
+
+// Jobs returns every submitted job in submission order.
+func (s *Scheduler) Jobs() []*Job { return s.jobs }
+
+// QueueLen returns the current backlog depth.
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
+
+// Running returns the number of in-flight jobs.
+func (s *Scheduler) Running() int { return len(s.running) }
+
+// AllDone reports whether every submitted (and trace-scheduled) job has
+// reached a terminal state.
+func (s *Scheduler) AllDone() bool {
+	if s.pendingSubmits > 0 {
+		return false
+	}
+	for _, j := range s.jobs {
+		if j.State != StateDone && j.State != StateLost {
+			return false
+		}
+	}
+	return true
+}
+
+// RunToCompletion advances virtual time until every job terminates or the
+// limit elapses, and reports whether all jobs terminated. The watchdog
+// ticker keeps the event queue alive, so callers use this (or RunFor)
+// rather than Engine.Run.
+func (s *Scheduler) RunToCompletion(limit sim.Duration) bool {
+	deadline := s.eng.Now() + sim.Time(limit)
+	for !s.AllDone() && s.eng.Now() < deadline {
+		step := sim.Time(sim.Second)
+		if rem := deadline - s.eng.Now(); rem < step {
+			step = rem
+		}
+		s.eng.RunUntil(s.eng.Now() + step)
+	}
+	return s.AllDone()
+}
+
+// Close stops the watchdog and any pending backoff timers so the engine's
+// event queue can drain.
+func (s *Scheduler) Close() {
+	s.watchdog.Stop()
+	for _, j := range s.jobs {
+		if j.backoff != nil {
+			j.backoff.Stop()
+		}
+	}
+}
+
+// deadlineKey orders the queue by absolute deadline (none = Forever).
+func deadlineKey(j *Job) sim.Time {
+	if j.Spec.Deadline <= 0 {
+		return sim.Forever
+	}
+	return j.Submitted + sim.Time(j.Spec.Deadline)
+}
+
+// sortQueue imposes the admission order: priority desc, earliest deadline,
+// FIFO, then ID — a total order, for determinism.
+func (s *Scheduler) sortQueue() {
+	sort.SliceStable(s.queue, func(a, b int) bool {
+		ja, jb := s.queue[a], s.queue[b]
+		if ja.Spec.Priority != jb.Spec.Priority {
+			return ja.Spec.Priority > jb.Spec.Priority
+		}
+		if da, db := deadlineKey(ja), deadlineKey(jb); da != db {
+			return da < db
+		}
+		if ja.Submitted != jb.Submitted {
+			return ja.Submitted < jb.Submitted
+		}
+		return ja.Spec.ID < jb.Spec.ID
+	})
+}
+
+// schedule runs one admission pass and then re-arbitrates stream shares.
+// It is called after every state change.
+func (s *Scheduler) schedule(now sim.Time) {
+	s.sortQueue()
+	for len(s.queue) > 0 {
+		if len(s.running) >= s.Cfg.MaxConcurrent {
+			break
+		}
+		if s.reserved+s.Cfg.PerJobBW > s.Cfg.AggregateBW*(1+1e-9) {
+			break
+		}
+		j := s.queue[0]
+		if j.src == nil {
+			src, dst, err := s.Sys.CreateJobFiles(j.Spec.Dir, j.Spec.ID, j.Spec.Bytes)
+			if err != nil {
+				// SAN capacity exhausted: hold the whole queue until a
+				// running job frees its files.
+				break
+			}
+			j.src, j.dst = src, dst
+		}
+		s.queue = s.queue[1:]
+		j.State = StateRunning
+		j.reserved = s.Cfg.PerJobBW
+		s.reserved += j.reserved
+		s.running = append(s.running, j)
+		if j.FirstStart == 0 {
+			j.FirstStart = now
+			s.WaitHist.Observe(float64(now - j.Submitted))
+		}
+		s.eng.Tracef("xfersched", "admit %s (tenant=%s, %d queued)",
+			j.Spec.ID, j.Spec.Tenant, len(s.queue))
+	}
+	s.arbitrate(now)
+}
+
+// arbitrate divides the RFTP stream budget among running RFTP jobs by
+// tenant weight (each tenant's weight split across its active jobs) and
+// starts or checkpoint-restarts transfers whose allocation changed.
+// GridFTP jobs run at their configured stream count.
+func (s *Scheduler) arbitrate(now sim.Time) {
+	var rftpJobs []*Job
+	perTenant := make(map[string]int)
+	for _, j := range s.running {
+		if j.Spec.Protocol == ProtoRFTP {
+			rftpJobs = append(rftpJobs, j)
+			perTenant[j.Spec.Tenant]++
+		}
+	}
+	alloc := s.divideStreams(rftpJobs, perTenant)
+	for i, j := range rftpJobs {
+		switch {
+		case j.handle == nil:
+			s.startAttempt(j, alloc[i], now)
+		case j.streams != alloc[i]:
+			s.restart(j, alloc[i], now)
+		}
+	}
+	// Snapshot: startAttempt can mutate s.running when a job's remaining
+	// bytes round to zero and it finishes immediately.
+	for _, j := range append([]*Job(nil), s.running...) {
+		if j.Spec.Protocol == ProtoGridFTP && j.handle == nil && j.State == StateRunning {
+			s.startAttempt(j, s.Cfg.GridFTP.Streams, now)
+		}
+	}
+}
+
+// divideStreams computes the weighted fair-share stream allocation: floor
+// of the exact share (min 1 each), leftovers by largest remainder.
+func (s *Scheduler) divideStreams(jobs []*Job, perTenant map[string]int) []int {
+	n := len(jobs)
+	if n == 0 {
+		return nil
+	}
+	budget := s.Cfg.StreamBudget
+	if budget < n {
+		budget = n
+	}
+	weights := make([]float64, n)
+	total := 0.0
+	for i, j := range jobs {
+		weights[i] = s.tenant(j.Spec.Tenant).Weight / float64(perTenant[j.Spec.Tenant])
+		total += weights[i]
+	}
+	alloc := make([]int, n)
+	rem := make([]float64, n)
+	used := 0
+	for i := range jobs {
+		exact := float64(budget) * weights[i] / total
+		alloc[i] = int(exact)
+		if alloc[i] < 1 {
+			alloc[i] = 1
+		}
+		rem[i] = exact - float64(alloc[i])
+		used += alloc[i]
+	}
+	for used < budget {
+		best := 0
+		for i := 1; i < n; i++ {
+			if rem[i] > rem[best]+1e-12 {
+				best = i
+			}
+		}
+		alloc[best]++
+		rem[best] -= 1
+		used++
+	}
+	return alloc
+}
+
+// startAttempt launches a transfer for the job's remaining bytes with the
+// given stream count.
+func (s *Scheduler) startAttempt(j *Job, streams int, now sim.Time) {
+	remaining := float64(j.Spec.Bytes) - j.moved
+	if remaining < 1 {
+		s.finish(j, now)
+		return
+	}
+	j.streams = streams
+	j.attempt++
+	attempt := j.attempt
+	j.lastProgress = 0
+	j.lastProgressAt = now
+	onDone := func(t sim.Time) {
+		// Guard against a superseded attempt's close exchange landing
+		// after a checkpoint-restart.
+		if j.attempt != attempt || j.State != StateRunning {
+			return
+		}
+		s.complete(j, t)
+	}
+	var (
+		h   handle
+		err error
+	)
+	switch j.Spec.Protocol {
+	case ProtoRFTP:
+		cfg := s.Cfg.RFTP
+		cfg.Streams = streams
+		p := s.Cfg.RFTPParams
+		p.StartOffset = int64(j.moved)
+		h, err = s.Sys.StartRFTPOn(j.Spec.Dir, cfg, p, j.src, j.dst, float64(j.Spec.Bytes), onDone)
+	case ProtoGridFTP:
+		h, err = s.Sys.StartGridFTPOn(j.Spec.Dir, s.Cfg.GridFTP, j.src, j.dst, remaining, onDone)
+	default:
+		err = fmt.Errorf("xfersched: unknown protocol %d", j.Spec.Protocol)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("xfersched: start %s: %v", j.Spec.ID, err))
+	}
+	j.handle = h
+	s.eng.Tracef("xfersched", "start %s attempt=%d streams=%d remaining=%g",
+		j.Spec.ID, attempt, streams, remaining)
+}
+
+// restart checkpoints a running transfer and relaunches it with a new
+// stream allocation (a rebalance, not a retry).
+func (s *Scheduler) restart(j *Job, streams int, now sim.Time) {
+	j.moved += j.handle.Transferred()
+	j.handle.Stop()
+	j.handle = nil
+	s.eng.Tracef("xfersched", "rebalance %s to %d streams (moved=%g)",
+		j.Spec.ID, streams, j.moved)
+	s.startAttempt(j, streams, now)
+}
+
+// check is the watchdog tick: fold progress, declare stalls.
+func (s *Scheduler) check(now sim.Time) {
+	stalled := false
+	snapshot := append([]*Job(nil), s.running...)
+	for _, j := range snapshot {
+		if j.State != StateRunning || j.handle == nil {
+			continue
+		}
+		cur := j.handle.Transferred()
+		if cur > j.lastProgress+1 {
+			j.lastProgress = cur
+			j.lastProgressAt = now
+			continue
+		}
+		if sim.Duration(now-j.lastProgressAt) >= s.Cfg.StallAfter {
+			s.stall(j, now)
+			stalled = true
+		}
+	}
+	if stalled {
+		s.schedule(now)
+	}
+}
+
+// stall handles a no-progress job: fold its partial bytes, release its
+// admission slot, and either finish it (all bytes actually arrived — only
+// the close exchange was lost), requeue it with exponential backoff, or
+// give up.
+func (s *Scheduler) stall(j *Job, now sim.Time) {
+	j.moved += j.handle.Transferred()
+	j.handle.Stop()
+	j.handle = nil
+	j.Retries++
+	s.release(j)
+	s.removeRunning(j)
+	if float64(j.Spec.Bytes)-j.moved < 1 {
+		s.finish(j, now)
+		return
+	}
+	if j.Retries >= s.Cfg.MaxAttempts {
+		j.State = StateLost
+		j.Finished = now
+		s.Sys.RemoveJobFiles(j.Spec.Dir, j.Spec.ID)
+		j.src, j.dst = nil, nil
+		s.eng.Tracef("xfersched", "lost %s after %d attempts", j.Spec.ID, j.Retries)
+		return
+	}
+	j.State = StateBackoff
+	delay := s.Cfg.RetryBase
+	for i := 1; i < j.Retries && delay < s.Cfg.RetryMax; i++ {
+		delay *= 2
+	}
+	if delay > s.Cfg.RetryMax {
+		delay = s.Cfg.RetryMax
+	}
+	s.eng.Tracef("xfersched", "stall %s retry=%d backoff=%gs moved=%g",
+		j.Spec.ID, j.Retries, float64(delay), j.moved)
+	if j.backoff == nil {
+		j.backoff = s.eng.NewTimer(delay, func(t sim.Time) { s.requeue(j, t) })
+	} else {
+		j.backoff.Reset(delay)
+	}
+}
+
+// requeue returns a backed-off job to the admission queue.
+func (s *Scheduler) requeue(j *Job, now sim.Time) {
+	j.State = StateQueued
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.MaxQueueLen {
+		s.MaxQueueLen = len(s.queue)
+	}
+	s.schedule(now)
+}
+
+// complete finishes a successfully delivered job and reschedules.
+func (s *Scheduler) complete(j *Job, now sim.Time) {
+	j.moved = float64(j.Spec.Bytes)
+	j.handle = nil
+	s.release(j)
+	s.removeRunning(j)
+	s.finish(j, now)
+	s.schedule(now)
+}
+
+// finish moves a job to StateDone and frees its SAN files.
+func (s *Scheduler) finish(j *Job, now sim.Time) {
+	j.State = StateDone
+	j.Finished = now
+	j.moved = float64(j.Spec.Bytes)
+	if j.reserved > 0 {
+		s.release(j)
+		s.removeRunning(j)
+	}
+	if j.Spec.Deadline > 0 && sim.Duration(now-j.Submitted) > j.Spec.Deadline {
+		j.DeadlineMissed = true
+	}
+	if j.src != nil {
+		s.Sys.RemoveJobFiles(j.Spec.Dir, j.Spec.ID)
+		j.src, j.dst = nil, nil
+	}
+	s.eng.Tracef("xfersched", "done %s wait=%gs elapsed=%gs retries=%d",
+		j.Spec.ID, float64(j.Wait()), float64(now-j.Submitted), j.Retries)
+}
+
+// release returns a job's admission reservation.
+func (s *Scheduler) release(j *Job) {
+	s.reserved -= j.reserved
+	if s.reserved < 0 {
+		s.reserved = 0
+	}
+	j.reserved = 0
+}
+
+// removeRunning drops j from the running list, preserving order.
+func (s *Scheduler) removeRunning(j *Job) {
+	for i, r := range s.running {
+		if r == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// slowdown returns elapsed/ideal for a finished job.
+func (s *Scheduler) slowdown(j *Job) float64 {
+	if j.Finished == 0 {
+		return math.NaN()
+	}
+	ideal := float64(j.Spec.Bytes) / s.Cfg.ReferenceBW
+	if ideal <= 0 {
+		return math.NaN()
+	}
+	return float64(j.Finished-j.Submitted) / ideal
+}
