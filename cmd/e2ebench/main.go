@@ -9,7 +9,8 @@
 // Experiment IDs follow DESIGN.md: E1 (motivating iperf), E2 (STREAM),
 // F4 (cost breakdown), T1 (testbed table), F7/F8 (iSER bandwidth/CPU),
 // F9–F12 (end-to-end uni/bi-directional), F13/F14 (WAN), A1 (SSD thermal),
-// A2 (path ceiling), S1 (multi-tenant transfer scheduler saturation).
+// A2 (path ceiling), S1 (multi-tenant transfer scheduler saturation),
+// S2 (fault-injection chaos sweep with in-protocol recovery).
 package main
 
 import (

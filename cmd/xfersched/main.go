@@ -10,8 +10,14 @@
 //	xfersched -jobs 40 -rate 120         # 40 jobs offered at 120 jobs/min
 //	xfersched -tenants astro:3,bio:1     # tenant weights (mix + fair share)
 //	xfersched -fail 5 -failfor 10        # front link 0 dark from t=5s to t=15s
+//	xfersched -chaos 2 -chaosseed 9      # seeded fault schedule, MTBF 2s
+//	xfersched -recover=false             # disable in-protocol recovery
+//	xfersched -trace jobs.txt            # replay a job trace file
 //	xfersched -concurrent 8 -streams 12  # admission and stream budgets
 //	xfersched -seed 7 -md -v             # reseed, markdown, per-job table
+//
+// With -chaos (or -fail) the injected fault schedule is echoed alongside
+// the outcome tables, so a report records exactly what the run survived.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strings"
 
 	"e2edt/internal/core"
+	"e2edt/internal/faults"
 	"e2edt/internal/metrics"
 	"e2edt/internal/sim"
 	"e2edt/internal/units"
@@ -41,6 +48,13 @@ func main() {
 	streams := flag.Int("streams", 6, "total RFTP stream budget across running jobs")
 	failAt := flag.Float64("fail", 0, "fail front link 0 at this virtual second (0 = no failure)")
 	failFor := flag.Float64("failfor", 10, "failure window length in virtual seconds")
+	chaos := flag.Float64("chaos", 0, "mean seconds between injected faults on the front fabric (0 = off)")
+	chaosSeed := flag.Int64("chaosseed", 42, "fault-schedule PRNG seed")
+	outage := flag.Float64("outage", 0.3, "mean fault window length in virtual seconds")
+	degrade := flag.Float64("degrade", 0.5, "surviving capacity fraction for chaos degradation windows")
+	horizon := flag.Float64("horizon", 30, "chaos fault-injection horizon in virtual seconds")
+	recover := flag.Bool("recover", true, "enable in-protocol recovery (RDMA/RFTP/iSER); the watchdog stays as second line of defense")
+	traceFile := flag.String("trace", "", "replay a job trace file (see xfersched.ParseTrace) instead of generating one")
 	limit := flag.Float64("limit", 7200, "virtual-time budget in seconds")
 	md := flag.Bool("md", false, "emit tables as markdown")
 	verbose := flag.Bool("v", false, "include the per-job table")
@@ -61,11 +75,14 @@ func main() {
 
 	opt := core.DefaultOptions()
 	opt.DatasetSize = 2 * units.GB
+	if *recover {
+		opt.Recovery = core.DefaultRecoveryOptions()
+	}
 	sys, err := core.NewSystem(opt)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := xfersched.DefaultConfig()
+	cfg := xfersched.DefaultConfig().WithRecovery(opt.Recovery)
 	cfg.MaxConcurrent = *concurrent
 	cfg.StreamBudget = *streams
 	s, err := xfersched.New(sys, cfg)
@@ -74,21 +91,54 @@ func main() {
 	}
 	defer s.Close()
 
-	tc := xfersched.TraceConfig{
-		Seed:            *seed,
-		Jobs:            *jobs,
-		JobsPerMinute:   *rate,
-		Tenants:         tList,
-		MinBytes:        minB,
-		MaxBytes:        maxB,
-		GridFTPFraction: *gridftp,
-		ReverseFraction: *reverse,
-		PriorityLevels:  2,
-	}
 	s.WithTenantWeights(tList)
-	s.SubmitTrace(xfersched.GenerateTrace(tc))
+	if *traceFile != "" {
+		text, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err := xfersched.ParseTrace(string(text))
+		if err != nil {
+			fatal(err)
+		}
+		s.SubmitTrace(trace)
+	} else {
+		tc := xfersched.TraceConfig{
+			Seed:            *seed,
+			Jobs:            *jobs,
+			JobsPerMinute:   *rate,
+			Tenants:         tList,
+			MinBytes:        minB,
+			MaxBytes:        maxB,
+			GridFTPFraction: *gridftp,
+			ReverseFraction: *reverse,
+			PriorityLevels:  2,
+		}
+		s.SubmitTrace(xfersched.GenerateTrace(tc))
+	}
+
+	plan := &faults.Plan{}
 	if *failAt > 0 {
-		s.FailLink(sys.TB.FrontLinks[0], sim.Time(*failAt), sim.Duration(*failFor))
+		plan.FailWindow(sys.TB.FrontLinks[0], sim.Time(*failAt), sim.Duration(*failFor))
+	}
+	if *chaos > 0 {
+		chaosPlan := faults.Chaos(faults.ChaosConfig{
+			Seed:            *chaosSeed,
+			Horizon:         sim.Duration(*horizon),
+			Start:           sim.Time(100 * sim.Millisecond),
+			MeanBetween:     sim.Duration(*chaos),
+			MeanOutage:      sim.Duration(*outage),
+			DegradeFraction: *degrade,
+			FlapWeight:      3,
+			DegradeWeight:   1,
+			BurstWeight:     1,
+		}, sys.TB.FrontLinks...)
+		for _, ev := range chaosPlan.Events {
+			plan.Add(ev)
+		}
+	}
+	if !plan.Empty() {
+		s.ApplyFaults(plan)
 	}
 	done := s.RunToCompletion(sim.Duration(*limit))
 
@@ -102,6 +152,16 @@ func main() {
 			fmt.Println(tb.Markdown())
 		} else {
 			fmt.Println(tb)
+		}
+	}
+	if !plan.Empty() {
+		if *md {
+			fmt.Println("#### Injected fault schedule")
+			fmt.Println()
+			fmt.Println(plan.MarkdownTable())
+		} else {
+			fmt.Println("Injected fault schedule:")
+			fmt.Println(plan.String())
 		}
 	}
 	if !done {

@@ -50,6 +50,62 @@ type Options struct {
 	// DeviceFactory overrides LUN construction (ablations: SSD- or
 	// HDD-backed back ends). Nil builds the paper's NUMA-pinned ramdisks.
 	DeviceFactory func(store *host.Host, lun int, policy numa.Policy) blockdev.Device
+	// Recovery enables in-protocol failure recovery across the stack:
+	// iSCSI command replay on the SAN sessions and RFTP stream
+	// re-establishment on the front-end fabric. The zero value leaves the
+	// system fail-fast, as before.
+	Recovery RecoveryOptions
+}
+
+// RecoveryOptions configure the system's in-protocol recovery ladder. When
+// Enabled, both SAN iSCSI sessions replay dropped or timed-out commands
+// (instead of hanging or failing with ErrSessionDown) and RFTP transfers
+// launched through the System fill in ACK-timeout stream recovery unless
+// the caller already set their own rftp recovery parameters.
+type RecoveryOptions struct {
+	// Enabled switches the whole ladder on.
+	Enabled bool
+	// MaxReplays bounds iSCSI command re-issues (iscsi.Session.MaxReplays).
+	MaxReplays int
+	// ReplayDelay is the pause before an iSCSI re-issue.
+	ReplayDelay sim.Duration
+	// AckTimeout is the RFTP per-stream no-progress span that declares the
+	// trailing window lost (rftp.Params.AckTimeout).
+	AckTimeout sim.Duration
+	// RetryBackoff and RetryBackoffMax bound RFTP's exponential backoff
+	// between stream recovery attempts.
+	RetryBackoff, RetryBackoffMax sim.Duration
+	// MaxStreamRetries bounds consecutive failed recovery attempts on one
+	// RFTP stream before the transfer gives up.
+	MaxStreamRetries int
+}
+
+// DefaultRecoveryOptions returns the tuned recovery ladder: fast iSCSI
+// replay on the low-latency SANs, and RFTP stream recovery that detects a
+// loss within 250 ms and retries with 50 ms..1 s backoff.
+func DefaultRecoveryOptions() RecoveryOptions {
+	return RecoveryOptions{
+		Enabled:          true,
+		MaxReplays:       8,
+		ReplayDelay:      50 * sim.Millisecond,
+		AckTimeout:       250 * sim.Millisecond,
+		RetryBackoff:     50 * sim.Millisecond,
+		RetryBackoffMax:  sim.Second,
+		MaxStreamRetries: 16,
+	}
+}
+
+// ApplyRFTP fills recovery fields into p (only when Enabled and the caller
+// has not set its own AckTimeout), returning the adjusted params.
+func (r RecoveryOptions) ApplyRFTP(p rftp.Params) rftp.Params {
+	if !r.Enabled || p.AckTimeout > 0 {
+		return p
+	}
+	p.AckTimeout = r.AckTimeout
+	p.RetryBackoff = r.RetryBackoff
+	p.RetryBackoffMax = r.RetryBackoffMax
+	p.MaxStreamRetries = r.MaxStreamRetries
+	return p
 }
 
 // DefaultOptions mirrors the paper's tuned setup.
@@ -153,6 +209,10 @@ func buildSide(opt Options, tb *testbed.LAN, front, store *host.Host, san []*fab
 	}
 	mover := iser.NewMover(portals, initProc.NewThread(), tgt, opt.ISER)
 	sess := iscsi.NewSession(tgt, mover)
+	if opt.Recovery.Enabled {
+		sess.MaxReplays = opt.Recovery.MaxReplays
+		sess.ReplayDelay = opt.Recovery.ReplayDelay
+	}
 	fs, err := fsim.Mount(sess, front, opt.FSOpt)
 	if err != nil {
 		return nil, err
@@ -204,7 +264,7 @@ func (s *System) StartRFTPOn(dir Direction, cfg rftp.Config, p rftp.Params,
 	snd, _ := s.ends(dir)
 	src := pipe.FileReader{File: srcFile, Direct: true}
 	dst := pipe.FileWriter{File: dstFile, Direct: true}
-	return rftp.Start(s.TB.FrontLinks, snd.Front, cfg, p, src, dst, size, onDone)
+	return rftp.Start(s.TB.FrontLinks, snd.Front, cfg, s.Opt.Recovery.ApplyRFTP(p), src, dst, size, onDone)
 }
 
 // StartRFTPSet transfers a dataset of individual files (manifest-style,
@@ -219,7 +279,7 @@ func (s *System) StartRFTPSet(dir Direction, cfg rftp.Config, p rftp.Params,
 	}
 	src := pipe.FileReader{File: snd.Dataset, Direct: true}
 	dst := pipe.FileWriter{File: rcv.Output, Direct: true}
-	return rftp.StartSet(s.TB.FrontLinks, snd.Front, cfg, p, src, dst, files, onDone)
+	return rftp.StartSet(s.TB.FrontLinks, snd.Front, cfg, s.Opt.Recovery.ApplyRFTP(p), src, dst, files, onDone)
 }
 
 // StartGridFTP launches a GridFTP transfer in the given direction.

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "A5", "A6", "E1", "E2", "F10", "F11", "F12", "F13", "F14", "F4", "F7", "F8", "F9", "S1", "T1"}
+	want := []string{"A1", "A2", "A3", "A4", "A5", "A6", "E1", "E2", "F10", "F11", "F12", "F13", "F14", "F4", "F7", "F8", "F9", "S1", "S2", "T1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -351,6 +351,41 @@ func TestSchedulerSaturationShape(t *testing.T) {
 	}
 	if frow[2] == "0" {
 		t.Fatalf("outage run saw no retries: %v", frow)
+	}
+}
+
+func TestChaosRecoveryShape(t *testing.T) {
+	res := ChaosRecovery()
+	// Goodput series is ordered baseline-first, then decreasing MTBF: it
+	// must never rise as faults get more frequent, and the harshest point
+	// must pay a real penalty against the baseline.
+	good := res.Series[0]
+	for i := 1; i < good.Len(); i++ {
+		if good.Values[i] > good.Values[i-1]*1.01 {
+			t.Fatalf("goodput rose with fault frequency: %v", good.Values)
+		}
+	}
+	if last := good.Values[good.Len()-1]; last >= 0.9*good.Values[0] {
+		t.Fatalf("harshest chaos point too cheap: %v vs baseline %v", last, good.Values[0])
+	}
+	// Every sweep row delivered exactly once; the chaos runs themselves
+	// panic otherwise, so just check the rendered claim and that the
+	// harshest row actually recovered something.
+	freq := res.Tables[0]
+	for _, row := range freq.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("exactly-once column broken: %v", row)
+		}
+	}
+	worst := freq.Rows[len(freq.Rows)-1]
+	if worst[3] == "0" {
+		t.Fatalf("harshest chaos row saw no recoveries: %v", worst)
+	}
+	// Degradation-only runs must never retransmit.
+	for _, row := range res.Tables[1].Rows {
+		if row[3] != "0" || row[4] != "0B" {
+			t.Fatalf("degradation row retransmitted: %v", row)
+		}
 	}
 }
 

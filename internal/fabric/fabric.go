@@ -55,6 +55,45 @@ func (c Config) Efficiency() float64 {
 	return float64(c.MTU) / float64(c.MTU+c.HeaderBytes)
 }
 
+// EventKind classifies link state transitions reported to watchers.
+type EventKind int
+
+const (
+	// EventDown: the link failed (capacity dropped to zero).
+	EventDown EventKind = iota
+	// EventUp: the link was restored.
+	EventUp
+	// EventDegraded: the link's capacity fraction changed without the link
+	// going dark (Degrade).
+	EventDegraded
+	// EventErrorBurst: a transient error burst crossed the link — capacity
+	// is untouched, but reliable-connection state machines riding the link
+	// (RDMA QPs) see error completions.
+	EventErrorBurst
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventDown:
+		return "down"
+	case EventUp:
+		return "up"
+	case EventDegraded:
+		return "degraded"
+	default:
+		return "error-burst"
+	}
+}
+
+// Event is a link state transition delivered to Watch callbacks.
+type Event struct {
+	Kind EventKind
+	// Fraction is the link's current capacity fraction (1 = healthy,
+	// 0 = dark) after the transition.
+	Fraction float64
+}
+
 // Link is a full-duplex connection between two NICs.
 type Link struct {
 	Cfg Config
@@ -65,6 +104,13 @@ type Link struct {
 	sim        *fluid.Sim
 	eng        *sim.Engine
 	failed     bool
+	// degrade is the healthy-capacity multiplier set by Degrade; 1 means
+	// full rate. It survives Fail/Restore cycles so repair ends at the
+	// configured (possibly degraded) rate.
+	degrade  float64
+	watchers []func(Event)
+	// Drops counts control messages dropped because the link was dark.
+	Drops int64
 }
 
 // Connect creates a link between a NIC on host ha (PCIe slot on node na) and
@@ -77,13 +123,14 @@ func Connect(s *fluid.Sim, cfg Config, ha *host.Host, na *numa.Node, hb *host.Ho
 		panic(fmt.Sprintf("fabric: link %s has negative RTT", cfg.Name))
 	}
 	l := &Link{
-		Cfg:  cfg,
-		A:    ha.NewDevice(cfg.Name+"/nicA", na),
-		B:    hb.NewDevice(cfg.Name+"/nicB", nb),
-		aToB: s.AddResource(cfg.Name+"/a->b", cfg.Rate),
-		bToA: s.AddResource(cfg.Name+"/b->a", cfg.Rate),
-		sim:  s,
-		eng:  s.Engine,
+		Cfg:     cfg,
+		A:       ha.NewDevice(cfg.Name+"/nicA", na),
+		B:       hb.NewDevice(cfg.Name+"/nicB", nb),
+		aToB:    s.AddResource(cfg.Name+"/a->b", cfg.Rate),
+		bToA:    s.AddResource(cfg.Name+"/b->a", cfg.Rate),
+		sim:     s,
+		eng:     s.Engine,
+		degrade: 1,
 	}
 	return l
 }
@@ -142,41 +189,116 @@ func (l *Link) MessageDelay(size float64) sim.Duration {
 // modelling an asynchronous control message (RFTP's control channel, iSCSI
 // command PDUs). Control messages are not charged against link bandwidth;
 // their footprint is negligible next to bulk data. Messages sent while the
-// link is failed are dropped.
-func (l *Link) Send(size float64, fn func(now sim.Time)) {
+// link is failed are dropped: Send reports false and counts the drop, so
+// protocol timeout logic can be tested against explicit drops rather than
+// inferred hangs. Degradation does not drop control messages.
+func (l *Link) Send(size float64, fn func(now sim.Time)) bool {
 	if l.failed {
-		return
+		l.Drops++
+		l.eng.Tracef("fabric", "link %s dropped %g-byte control message", l.Cfg.Name, size)
+		return false
 	}
 	l.eng.Schedule(l.MessageDelay(size), func() { fn(l.eng.Now()) })
+	return true
+}
+
+// Watch registers fn to receive link state transitions (failures, repairs,
+// degradation changes, error bursts). Watchers fire synchronously, in
+// registration order, inside the transition call — deterministic under the
+// single-threaded simulation.
+func (l *Link) Watch(fn func(Event)) {
+	if fn == nil {
+		panic("fabric: nil link watcher")
+	}
+	l.watchers = append(l.watchers, fn)
+}
+
+// notify delivers a transition to every watcher.
+func (l *Link) notify(kind EventKind) {
+	ev := Event{Kind: kind, Fraction: l.Fraction()}
+	for _, fn := range l.watchers {
+		fn(ev)
+	}
+}
+
+// applyCapacity installs the current effective rate on both directions.
+func (l *Link) applyCapacity() {
+	rate := 0.0
+	if !l.failed {
+		rate = l.Cfg.Rate * l.degrade
+	}
+	l.sim.SetCapacity(l.aToB, rate)
+	l.sim.SetCapacity(l.bToA, rate)
 }
 
 // Fail injects a link failure: both directions drop to zero capacity and
 // every flow crossing the link stalls until Restore. Control messages
-// submitted while failed are silently dropped (Send becomes a no-op), as
-// on a dark fiber.
+// submitted while failed are dropped (Send reports false), as on a dark
+// fiber.
 func (l *Link) Fail() {
 	if l.failed {
 		return
 	}
 	l.failed = true
-	l.sim.SetCapacity(l.aToB, 0)
-	l.sim.SetCapacity(l.bToA, 0)
+	l.applyCapacity()
 	l.eng.Tracef("fabric", "link %s failed", l.Cfg.Name)
+	l.notify(EventDown)
 }
 
 // Restore repairs a failed link; stalled flows resume at the next solve.
+// The link comes back at its configured rate scaled by any standing
+// degradation (Degrade survives a fail/restore cycle, as a half-trained
+// optic would).
 func (l *Link) Restore() {
 	if !l.failed {
 		return
 	}
 	l.failed = false
-	l.sim.SetCapacity(l.aToB, l.Cfg.Rate)
-	l.sim.SetCapacity(l.bToA, l.Cfg.Rate)
-	l.eng.Tracef("fabric", "link %s restored", l.Cfg.Name)
+	l.applyCapacity()
+	l.eng.Tracef("fabric", "link %s restored (fraction=%g)", l.Cfg.Name, l.degrade)
+	l.notify(EventUp)
+}
+
+// Degrade scales both directions' capacity to fraction×Rate without
+// declaring the link dark: control messages still flow, flows slow down
+// rather than stall, and no reliable-connection error is raised. fraction
+// must be in (0, 1]; Degrade(1) clears the degradation. Degrading a failed
+// link only updates the standing fraction applied at Restore. Repeated
+// calls are idempotent: the link always ends at fraction×Rate.
+func (l *Link) Degrade(fraction float64) {
+	if fraction <= 0 || fraction > 1 {
+		panic(fmt.Sprintf("fabric: Degrade fraction %v outside (0, 1]", fraction))
+	}
+	if l.degrade == fraction {
+		return
+	}
+	l.degrade = fraction
+	l.applyCapacity()
+	l.eng.Tracef("fabric", "link %s degraded to %g× rate", l.Cfg.Name, fraction)
+	l.notify(EventDegraded)
+}
+
+// InjectErrorBurst models a transient fault burst (CRC storms, a flapping
+// transceiver) that corrupts in-flight reliable-connection traffic without
+// changing capacity: watchers — RDMA QPs riding the link — receive an
+// EventErrorBurst and surface error completions; fluid capacity is
+// untouched.
+func (l *Link) InjectErrorBurst() {
+	l.eng.Tracef("fabric", "link %s error burst", l.Cfg.Name)
+	l.notify(EventErrorBurst)
 }
 
 // Failed reports whether the link is currently down.
 func (l *Link) Failed() bool { return l.failed }
+
+// Fraction returns the link's current capacity fraction: 0 when failed,
+// otherwise the standing Degrade fraction (1 = healthy).
+func (l *Link) Fraction() float64 {
+	if l.failed {
+		return 0
+	}
+	return l.degrade
+}
 
 // Engine exposes the simulation engine driving this link.
 func (l *Link) Engine() *sim.Engine { return l.eng }

@@ -257,6 +257,146 @@ func TestFailRestoreIdempotent(t *testing.T) {
 	}
 }
 
+func TestDegradeScalesBothDirections(t *testing.T) {
+	eng, s, ha, hb := pairOfHosts(t)
+	l := Connect(s, Config{Name: "l", Rate: 100}, ha, ha.M.Node(0), hb, hb.M.Node(0))
+	fwd := s.NewFlow("fwd", math.Inf(1))
+	l.ChargeWire(fwd, l.A, 1, "net")
+	rev := s.NewFlow("rev", math.Inf(1))
+	l.ChargeWire(rev, l.B, 1, "net")
+	s.Start(&fluid.Transfer{Flow: fwd, Remaining: math.Inf(1)})
+	s.Start(&fluid.Transfer{Flow: rev, Remaining: math.Inf(1)})
+	eng.RunUntil(1)
+	l.Degrade(0.4)
+	eng.RunUntil(2)
+	s.Sync()
+	if math.Abs(fwd.Rate()-40) > 1e-9 || math.Abs(rev.Rate()-40) > 1e-9 {
+		t.Fatalf("degraded rates = %v/%v, want 40/40", fwd.Rate(), rev.Rate())
+	}
+	if l.Failed() {
+		t.Fatal("degraded link must not report failed")
+	}
+	if got := l.Fraction(); got != 0.4 {
+		t.Fatalf("Fraction = %v, want 0.4", got)
+	}
+	// Control messages still flow on a degraded link.
+	delivered := false
+	if ok := l.Send(64, func(sim.Time) { delivered = true }); !ok {
+		t.Fatal("Send refused on a degraded link")
+	}
+	eng.Run()
+	if !delivered {
+		t.Fatal("control message lost on a degraded link")
+	}
+	// Degrade(1) clears the degradation.
+	l.Degrade(1)
+	if l.Dir(l.A).Capacity != 100 || l.Dir(l.B).Capacity != 100 {
+		t.Fatal("Degrade(1) did not restore full capacity")
+	}
+}
+
+func TestDegradeFailRestoreIdempotent(t *testing.T) {
+	// degrade→fail→restore sequences are idempotent and end at the
+	// configured (degraded) rate; clearing the degradation afterwards
+	// returns the link to the full line rate.
+	_, s, ha, hb := pairOfHosts(t)
+	l := Connect(s, Config{Name: "l", Rate: 100}, ha, ha.M.Node(0), hb, hb.M.Node(0))
+	l.Degrade(0.25)
+	l.Degrade(0.25) // no-op repeat
+	l.Fail()
+	if l.Dir(l.A).Capacity != 0 || l.Fraction() != 0 {
+		t.Fatal("failed link must have zero capacity and fraction")
+	}
+	l.Degrade(0.5) // updates the standing fraction while dark
+	if l.Dir(l.A).Capacity != 0 {
+		t.Fatal("degrading a failed link must not raise capacity")
+	}
+	l.Restore()
+	if got := l.Dir(l.A).Capacity; got != 50 {
+		t.Fatalf("restored capacity = %v, want 50 (0.5× rate)", got)
+	}
+	if got := l.Fraction(); got != 0.5 {
+		t.Fatalf("Fraction = %v, want 0.5", got)
+	}
+	l.Degrade(1)
+	if got := l.Dir(l.A).Capacity; got != 100 {
+		t.Fatalf("cleared capacity = %v, want 100", got)
+	}
+}
+
+func TestDegradeValidation(t *testing.T) {
+	_, s, ha, hb := pairOfHosts(t)
+	l := Connect(s, Config{Name: "l", Rate: 100}, ha, ha.M.Node(0), hb, hb.M.Node(0))
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for Degrade(%v)", bad)
+				}
+			}()
+			l.Degrade(bad)
+		}()
+	}
+}
+
+func TestSendReportsDrops(t *testing.T) {
+	eng, s, ha, hb := pairOfHosts(t)
+	l := Connect(s, Config{Name: "l", Rate: 100, RTT: 0.1}, ha, ha.M.Node(0), hb, hb.M.Node(0))
+	if ok := l.Send(64, func(sim.Time) {}); !ok {
+		t.Fatal("Send on a healthy link reported a drop")
+	}
+	l.Fail()
+	if ok := l.Send(64, func(sim.Time) {}); ok {
+		t.Fatal("Send on a failed link reported delivery")
+	}
+	l.Send(64, func(sim.Time) {})
+	if l.Drops != 2 {
+		t.Fatalf("Drops = %d, want 2", l.Drops)
+	}
+	eng.Run()
+}
+
+func TestWatchDeliversTransitions(t *testing.T) {
+	_, s, ha, hb := pairOfHosts(t)
+	l := Connect(s, Config{Name: "l", Rate: 100}, ha, ha.M.Node(0), hb, hb.M.Node(0))
+	var got []Event
+	l.Watch(func(ev Event) { got = append(got, ev) })
+	l.Fail()
+	l.Fail() // idempotent: no second event
+	l.Restore()
+	l.Degrade(0.5)
+	l.InjectErrorBurst()
+	want := []Event{
+		{Kind: EventDown, Fraction: 0},
+		{Kind: EventUp, Fraction: 1},
+		{Kind: EventDegraded, Fraction: 0.5},
+		{Kind: EventErrorBurst, Fraction: 0.5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestErrorBurstLeavesCapacityUntouched(t *testing.T) {
+	eng, s, ha, hb := pairOfHosts(t)
+	l := Connect(s, Config{Name: "l", Rate: 100}, ha, ha.M.Node(0), hb, hb.M.Node(0))
+	f := s.NewFlow("f", math.Inf(1))
+	l.ChargeWire(f, l.A, 1, "net")
+	s.Start(&fluid.Transfer{Flow: f, Remaining: math.Inf(1)})
+	eng.RunUntil(1)
+	l.InjectErrorBurst()
+	eng.RunUntil(2)
+	s.Sync()
+	if math.Abs(f.Rate()-100) > 1e-9 {
+		t.Fatalf("rate after burst = %v, want 100", f.Rate())
+	}
+}
+
 func TestPartialFabricFailure(t *testing.T) {
 	// Two links; failing one halves aggregate capacity for flows pinned
 	// per link, and the survivor is unaffected.

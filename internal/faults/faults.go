@@ -1,0 +1,232 @@
+// Package faults is a deterministic fault-injection plane over the
+// simulated fabric. A Plan is an explicit, seeded schedule of link
+// transitions — flaps (fail/restore), partial degradation, and RDMA error
+// bursts — applied at exact virtual times. Because the simulation is
+// single-threaded and the schedule is data, the same plan over the same
+// topology reproduces a bit-identical event trace: chaos experiments are
+// replayable.
+//
+// Two ways to build a plan: compose windows by hand (FailWindow,
+// DegradeWindow, Burst) for acceptance tests, or draw a whole schedule
+// from a seeded generator (Chaos) for sweep experiments.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"e2edt/internal/fabric"
+	"e2edt/internal/sim"
+)
+
+// Kind classifies one scheduled fault action.
+type Kind int
+
+const (
+	// LinkFail takes the link dark (capacity → 0, control messages drop).
+	LinkFail Kind = iota
+	// LinkRestore repairs the link (capacity returns, scaled by any
+	// standing degradation).
+	LinkRestore
+	// LinkDegrade scales the link to Fraction × rate without going dark.
+	LinkDegrade
+	// ErrorBurst raises RDMA error completions without touching capacity.
+	ErrorBurst
+)
+
+// String names the kind for traces and report tables.
+func (k Kind) String() string {
+	switch k {
+	case LinkFail:
+		return "fail"
+	case LinkRestore:
+		return "restore"
+	case LinkDegrade:
+		return "degrade"
+	default:
+		return "error-burst"
+	}
+}
+
+// Event is one scheduled fault action.
+type Event struct {
+	// At is the virtual time the action fires.
+	At sim.Time
+	// Kind selects the action.
+	Kind Kind
+	// Link is the target link.
+	Link *fabric.Link
+	// Fraction is the capacity fraction for LinkDegrade (ignored
+	// otherwise); Degrade(1) clears a standing degradation.
+	Fraction float64
+}
+
+// Plan is an ordered fault schedule.
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// sortEvents orders events by time, breaking ties by insertion order
+// (stable), so Apply schedules deterministically.
+func (p *Plan) sortEvents() {
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+}
+
+// Add appends an event.
+func (p *Plan) Add(ev Event) { p.Events = append(p.Events, ev) }
+
+// FailWindow schedules a link outage [from, from+outage).
+func (p *Plan) FailWindow(l *fabric.Link, from sim.Time, outage sim.Duration) {
+	p.Add(Event{At: from, Kind: LinkFail, Link: l})
+	p.Add(Event{At: from + sim.Time(outage), Kind: LinkRestore, Link: l})
+}
+
+// DegradeWindow schedules partial degradation to fraction×rate over
+// [from, from+window), restoring full capacity afterwards.
+func (p *Plan) DegradeWindow(l *fabric.Link, from sim.Time, window sim.Duration, fraction float64) {
+	p.Add(Event{At: from, Kind: LinkDegrade, Link: l, Fraction: fraction})
+	p.Add(Event{At: from + sim.Time(window), Kind: LinkDegrade, Link: l, Fraction: 1})
+}
+
+// Burst schedules one RDMA error burst.
+func (p *Plan) Burst(l *fabric.Link, at sim.Time) {
+	p.Add(Event{At: at, Kind: ErrorBurst, Link: l})
+}
+
+// Apply schedules every event on the engine. Call before Run; events in
+// the past panic (the engine refuses to schedule before now).
+func (p *Plan) Apply(eng *sim.Engine) {
+	if p.Empty() {
+		return
+	}
+	p.sortEvents()
+	for _, ev := range p.Events {
+		ev := ev
+		eng.At(ev.At, func() {
+			eng.Tracef("faults", "%s link %s (fraction=%g)", ev.Kind, ev.Link.Cfg.Name, ev.Fraction)
+			switch ev.Kind {
+			case LinkFail:
+				ev.Link.Fail()
+			case LinkRestore:
+				ev.Link.Restore()
+			case LinkDegrade:
+				ev.Link.Degrade(ev.Fraction)
+			case ErrorBurst:
+				ev.Link.InjectErrorBurst()
+			}
+		})
+	}
+}
+
+// String renders the schedule as a fixed-width table for logs.
+func (p *Plan) String() string {
+	if p.Empty() {
+		return "(no faults scheduled)"
+	}
+	var b strings.Builder
+	for _, ev := range p.Events {
+		fmt.Fprintf(&b, "%12.4fs  %-11s  %s", float64(ev.At), ev.Kind, ev.Link.Cfg.Name)
+		if ev.Kind == LinkDegrade {
+			fmt.Fprintf(&b, "  fraction=%g", ev.Fraction)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MarkdownTable renders the schedule as a markdown table for reports.
+func (p *Plan) MarkdownTable() string {
+	if p.Empty() {
+		return "_no faults scheduled_\n"
+	}
+	var b strings.Builder
+	b.WriteString("| t (s) | action | link | fraction |\n|---|---|---|---|\n")
+	for _, ev := range p.Events {
+		frac := "—"
+		if ev.Kind == LinkDegrade {
+			frac = fmt.Sprintf("%g", ev.Fraction)
+		}
+		fmt.Fprintf(&b, "| %.4f | %s | %s | %s |\n", float64(ev.At), ev.Kind, ev.Link.Cfg.Name, frac)
+	}
+	return b.String()
+}
+
+// ChaosConfig parameterizes the seeded schedule generator.
+type ChaosConfig struct {
+	// Seed drives the generator; the same seed over the same links yields
+	// the same plan.
+	Seed int64
+	// Horizon bounds fault start times to [Start, Start+Horizon).
+	Horizon sim.Duration
+	// Start offsets the first possible fault (grace period for handshakes).
+	Start sim.Time
+	// MeanBetween is the mean exponential interarrival between faults.
+	MeanBetween sim.Duration
+	// MeanOutage is the mean duration of a fail or degrade window.
+	MeanOutage sim.Duration
+	// DegradeFraction is the capacity fraction used for degradation
+	// windows (default 0.5 when zero).
+	DegradeFraction float64
+	// Weights select the fault mix: relative odds of a flap, a degrade
+	// window, and an error burst. All-zero means flaps only.
+	FlapWeight, DegradeWeight, BurstWeight float64
+}
+
+// Chaos draws a fault schedule from cfg over the given links. Each fault
+// picks a link uniformly; interarrival times and window lengths are
+// exponential. Windows are clamped so every injected outage is repaired
+// within the horizon (the plan always ends with every link healthy).
+func Chaos(cfg ChaosConfig, links ...*fabric.Link) *Plan {
+	if len(links) == 0 {
+		panic("faults: Chaos needs at least one link")
+	}
+	if cfg.MeanBetween <= 0 {
+		panic("faults: ChaosConfig.MeanBetween must be positive")
+	}
+	if cfg.Horizon <= 0 {
+		panic("faults: ChaosConfig.Horizon must be positive")
+	}
+	if cfg.MeanOutage <= 0 {
+		cfg.MeanOutage = cfg.MeanBetween / 4
+	}
+	if cfg.DegradeFraction <= 0 || cfg.DegradeFraction > 1 {
+		cfg.DegradeFraction = 0.5
+	}
+	wSum := cfg.FlapWeight + cfg.DegradeWeight + cfg.BurstWeight
+	if wSum <= 0 {
+		cfg.FlapWeight, wSum = 1, 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Plan{}
+	end := cfg.Start + sim.Time(cfg.Horizon)
+	at := cfg.Start
+	for {
+		at += sim.Time(rng.ExpFloat64() * float64(cfg.MeanBetween))
+		if at >= end {
+			break
+		}
+		l := links[rng.Intn(len(links))]
+		window := sim.Duration(rng.ExpFloat64() * float64(cfg.MeanOutage))
+		if minW := sim.Duration(float64(cfg.MeanOutage) / 10); window < minW {
+			window = minW
+		}
+		if at+sim.Time(window) > end {
+			window = sim.Duration(end - at)
+		}
+		switch pick := rng.Float64() * wSum; {
+		case pick < cfg.FlapWeight:
+			p.FailWindow(l, at, window)
+		case pick < cfg.FlapWeight+cfg.DegradeWeight:
+			p.DegradeWindow(l, at, window, cfg.DegradeFraction)
+		default:
+			p.Burst(l, at)
+		}
+	}
+	p.sortEvents()
+	return p
+}

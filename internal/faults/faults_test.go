@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"e2edt/internal/fabric"
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+func testLink(name string) (*sim.Engine, *fabric.Link) {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	cfg := numa.Config{
+		Name: "m", Nodes: 2, CoresPerNode: 8, CoreHz: 2.2e9,
+		MemBandwidthPerNode:   25 * units.GBps,
+		InterconnectBandwidth: 16 * units.GBps,
+		RemoteAccessPenalty:   1.4, CoherencyWritePenalty: 3,
+	}
+	ca, cb := cfg, cfg
+	ca.Name, cb.Name = "A", "B"
+	ha := host.New("A", numa.MustNew(s, ca))
+	hb := host.New("B", numa.MustNew(s, cb))
+	l := fabric.Connect(s, fabric.Config{Name: name, Rate: units.FromGbps(40), RTT: 0.166e-3},
+		ha, ha.M.Node(0), hb, hb.M.Node(0))
+	return eng, l
+}
+
+func TestApplyDrivesLinkTransitions(t *testing.T) {
+	eng, l := testLink("roce")
+	p := &Plan{}
+	p.FailWindow(l, 1, 2)
+	p.DegradeWindow(l, 5, 1, 0.25)
+	p.Burst(l, 7)
+	p.Apply(eng)
+
+	var got []string
+	check := func(at sim.Time, want float64) {
+		eng.At(at, func() {
+			if l.Fraction() != want {
+				t.Errorf("t=%v fraction = %v, want %v", at, l.Fraction(), want)
+			}
+			got = append(got, "checked")
+		})
+	}
+	check(1.5, 0)    // dark during outage
+	check(3.5, 1)    // repaired
+	check(5.5, 0.25) // degraded
+	check(6.5, 1)    // degradation cleared
+	eng.Run()
+	if len(got) != 4 {
+		t.Fatalf("ran %d checks, want 4", len(got))
+	}
+	if l.Fraction() != 1 {
+		t.Fatalf("final fraction = %v, want 1", l.Fraction())
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed: 42, Horizon: 60, MeanBetween: 5, MeanOutage: 1,
+		FlapWeight: 1, DegradeWeight: 1, BurstWeight: 1,
+	}
+	_, l := testLink("roce")
+	a := Chaos(cfg, l)
+	b := Chaos(cfg, l)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed produced different plans")
+	}
+	cfg.Seed = 43
+	c := Chaos(cfg, l)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if a.Empty() {
+		t.Fatal("expected a non-empty plan over a 60s horizon with 5s mean interarrival")
+	}
+}
+
+func TestChaosEndsHealthy(t *testing.T) {
+	eng, l := testLink("roce")
+	p := Chaos(ChaosConfig{
+		Seed: 7, Horizon: 120, MeanBetween: 3, MeanOutage: 4,
+		FlapWeight: 2, DegradeWeight: 1,
+	}, l)
+	p.Apply(eng)
+	eng.Run()
+	if l.Fraction() != 1 {
+		t.Fatalf("post-chaos fraction = %v, want 1 (all windows repaired)", l.Fraction())
+	}
+}
+
+func TestChaosRespectsGracePeriod(t *testing.T) {
+	_, l := testLink("roce")
+	p := Chaos(ChaosConfig{Seed: 1, Start: 10, Horizon: 50, MeanBetween: 2}, l)
+	for _, ev := range p.Events {
+		if ev.At < 10 {
+			t.Fatalf("event at %v before grace period end 10", ev.At)
+		}
+		if ev.At > 60 {
+			t.Fatalf("event at %v beyond horizon end 60", ev.At)
+		}
+	}
+}
+
+func TestPlanRendering(t *testing.T) {
+	_, l := testLink("wan")
+	p := &Plan{}
+	p.DegradeWindow(l, 2, 1, 0.5)
+	s := p.String()
+	if !strings.Contains(s, "degrade") || !strings.Contains(s, "wan") {
+		t.Fatalf("String() missing fields:\n%s", s)
+	}
+	md := p.MarkdownTable()
+	if !strings.Contains(md, "| 2.0000 | degrade | wan | 0.5 |") {
+		t.Fatalf("markdown table malformed:\n%s", md)
+	}
+	empty := &Plan{}
+	if !strings.Contains(empty.MarkdownTable(), "no faults") {
+		t.Fatal("empty plan table should say so")
+	}
+}

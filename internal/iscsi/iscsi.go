@@ -78,7 +78,14 @@ type Command struct {
 	// completed guards against double completion (normal response racing
 	// an initiator-side timeout).
 	completed bool
+	// replays counts re-issues of this command under session recovery.
+	replays int
+	// timer is the pending initiator-side timeout event.
+	timer *sim.Event
 }
+
+// Replays returns how many times the command was re-issued.
+func (c *Command) Replays() int { return c.replays }
 
 // LUN is a logical unit backed by a block device.
 type LUN struct {
@@ -105,8 +112,10 @@ type StreamMover interface {
 // Mover is the data-plane transport (implemented by the iser package).
 type Mover interface {
 	// SendPDU delivers a control PDU of the given size to the other side
-	// after transport latency.
-	SendPDU(size float64, toTarget bool, fn func(now sim.Time))
+	// after transport latency. fn always fires exactly once: ok=true on
+	// delivery, ok=false when the transport dropped the PDU (dark link),
+	// so session recovery can replay instead of inferring loss from hangs.
+	SendPDU(size float64, toTarget bool, fn func(now sim.Time, ok bool))
 	// Move transfers cmd's data using worker w's bounce buffer and
 	// thread. It must invoke onDone when the last byte is placed.
 	Move(cmd *Command, lun *LUN, w *Worker, onDone func(now sim.Time))
@@ -270,13 +279,33 @@ type Session struct {
 	// node.session.timeo equivalent). The target may still be executing
 	// the command — exactly the messy reality of SCSI aborts.
 	Timeout sim.Duration
+	// MaxReplays, when positive, enables session recovery: a command whose
+	// PDU drops or that times out is re-issued up to MaxReplays times
+	// instead of failing terminally, and a closed session parks new
+	// submissions for Reconnect instead of failing with ErrSessionDown.
+	// Replayed data ops are offset-addressed and therefore idempotent; the
+	// completed-guard absorbs a late original response racing a replay.
+	MaxReplays int
+	// ReplayDelay is the pause before a re-issue (default 50 ms).
+	ReplayDelay sim.Duration
 
 	closed bool
 	// Inflight tracks submitted-but-incomplete commands.
 	Inflight int
 	// TimedOut counts commands failed by the initiator-side timer.
 	TimedOut int64
+	// Replays counts command re-issues; Recovered counts commands that
+	// completed successfully after at least one replay.
+	Replays   int64
+	Recovered int64
+
+	// pending holds uncompleted commands in submission order when recovery
+	// is enabled, for replay at Reconnect.
+	pending []*Command
 }
+
+// recoveryEnabled reports whether command replay is on.
+func (s *Session) recoveryEnabled() bool { return s.MaxReplays > 0 }
 
 // NewSession opens a session.
 func NewSession(t *Target, m Mover) *Session {
@@ -286,8 +315,37 @@ func NewSession(t *Target, m Mover) *Session {
 	return &Session{Target: t, Mover: m}
 }
 
-// Close fails subsequent submissions.
+// Close fails subsequent submissions (or, under recovery, parks them for
+// Reconnect).
 func (s *Session) Close() { s.closed = true }
+
+// Closed reports whether the session is down.
+func (s *Session) Closed() bool { return s.closed }
+
+// Reconnect reopens a closed session and, when recovery is enabled,
+// replays every uncompleted command in submission order — both commands
+// parked while the session was down and commands that were in flight when
+// it went down. A late original response racing its replay is absorbed by
+// the completed-guard, and replayed data ops are idempotent.
+func (s *Session) Reconnect() {
+	if !s.closed {
+		return
+	}
+	s.closed = false
+	if !s.recoveryEnabled() {
+		return
+	}
+	eng := s.Target.eng
+	replay := make([]*Command, len(s.pending))
+	copy(replay, s.pending)
+	eng.Tracef("iscsi", "session reconnected: replaying %d uncompleted commands", len(replay))
+	for _, cmd := range replay {
+		if cmd.completed {
+			continue
+		}
+		s.reissue(cmd)
+	}
+}
 
 // Submit validates and issues cmd. Completion (or validation failure) is
 // reported through cmd.OnComplete.
@@ -300,7 +358,7 @@ func (s *Session) Submit(cmd *Command) {
 	fail := func(err error) {
 		eng.Schedule(0, func() { s.finish(cmd, err) })
 	}
-	if s.closed {
+	if s.closed && !s.recoveryEnabled() {
 		fail(ErrSessionDown)
 		return
 	}
@@ -320,20 +378,96 @@ func (s *Session) Submit(cmd *Command) {
 		fail(ErrOutOfRange)
 		return
 	}
-	eng.Tracef("iscsi", "submit %s lun=%d len=%d", cmd.Op, cmd.LUN, cmd.Length)
-	if s.Timeout > 0 {
-		eng.Schedule(s.Timeout, func() {
-			if !cmd.completed {
-				s.TimedOut++
-				eng.Tracef("iscsi", "timeout %s lun=%d len=%d", cmd.Op, cmd.LUN, cmd.Length)
-				s.finish(cmd, ErrTimeout)
-			}
-		})
+	if s.recoveryEnabled() {
+		s.pending = append(s.pending, cmd)
 	}
-	// Command PDU to the target.
-	s.Mover.SendPDU(s.Target.Cfg.CmdPDUBytes, true, func(sim.Time) {
+	if s.closed {
+		// Parked: replayed from pending at Reconnect.
+		eng.Tracef("iscsi", "parked %s lun=%d len=%d awaiting reconnect", cmd.Op, cmd.LUN, cmd.Length)
+		return
+	}
+	eng.Tracef("iscsi", "submit %s lun=%d len=%d", cmd.Op, cmd.LUN, cmd.Length)
+	s.armTimeout(cmd)
+	s.sendCmdPDU(st, cmd)
+}
+
+// armTimeout (re)arms the initiator-side response timer for cmd.
+func (s *Session) armTimeout(cmd *Command) {
+	if s.Timeout <= 0 {
+		return
+	}
+	eng := s.Target.eng
+	if cmd.timer != nil {
+		eng.Cancel(cmd.timer)
+	}
+	cmd.timer = eng.Schedule(s.Timeout, func() {
+		cmd.timer = nil
+		if cmd.completed {
+			return
+		}
+		if s.recoveryEnabled() && cmd.replays < s.MaxReplays {
+			eng.Tracef("iscsi", "timeout %s lun=%d len=%d: replaying", cmd.Op, cmd.LUN, cmd.Length)
+			s.replay(cmd)
+			return
+		}
+		s.TimedOut++
+		eng.Tracef("iscsi", "timeout %s lun=%d len=%d", cmd.Op, cmd.LUN, cmd.Length)
+		s.finish(cmd, ErrTimeout)
+	})
+}
+
+// sendCmdPDU issues the command PDU toward the target. A dropped PDU is
+// replayed under recovery; otherwise it is silently lost and the command
+// hangs until the initiator timeout fires (legacy behavior).
+func (s *Session) sendCmdPDU(st *lunState, cmd *Command) {
+	s.Mover.SendPDU(s.Target.Cfg.CmdPDUBytes, true, func(_ sim.Time, ok bool) {
+		if !ok {
+			if s.recoveryEnabled() && !cmd.completed {
+				s.replay(cmd)
+			}
+			return
+		}
 		s.enqueue(st, cmd)
 	})
+}
+
+// replay schedules a re-issue of cmd after ReplayDelay, failing terminally
+// once MaxReplays is exhausted. A replay attempted while the session is
+// closed waits for Reconnect (the command stays in pending).
+func (s *Session) replay(cmd *Command) {
+	if cmd.completed || s.closed {
+		return
+	}
+	if cmd.replays >= s.MaxReplays {
+		s.finish(cmd, ErrTimeout)
+		return
+	}
+	eng := s.Target.eng
+	delay := s.ReplayDelay
+	if delay <= 0 {
+		delay = 50 * sim.Millisecond
+	}
+	eng.Schedule(delay, func() {
+		if cmd.completed || s.closed {
+			return
+		}
+		s.reissue(cmd)
+	})
+}
+
+// reissue re-sends cmd's command PDU immediately, counting the replay.
+func (s *Session) reissue(cmd *Command) {
+	st, ok := s.Target.luns[cmd.LUN]
+	if !ok {
+		s.finish(cmd, ErrNoLUN)
+		return
+	}
+	cmd.replays++
+	s.Replays++
+	s.Target.eng.Tracef("iscsi", "reissue %s lun=%d len=%d attempt=%d",
+		cmd.Op, cmd.LUN, cmd.Length, cmd.replays)
+	s.armTimeout(cmd)
+	s.sendCmdPDU(st, cmd)
 }
 
 // finish delivers a command's final status exactly once.
@@ -343,6 +477,21 @@ func (s *Session) finish(cmd *Command, err error) {
 	}
 	cmd.completed = true
 	s.Inflight--
+	if cmd.timer != nil {
+		s.Target.eng.Cancel(cmd.timer)
+		cmd.timer = nil
+	}
+	if s.recoveryEnabled() {
+		for i, p := range s.pending {
+			if p == cmd {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+		if err == nil && cmd.replays > 0 {
+			s.Recovered++
+		}
+	}
 	cmd.Done = s.Target.eng.Now()
 	if cmd.OnComplete != nil {
 		cmd.OnComplete(cmd.Done, err)
@@ -367,8 +516,12 @@ func (s *Session) run(st *lunState, w *Worker, cmd *Command) {
 	eng := s.Target.eng
 	eng.Schedule(st.lun.Dev.AccessLatency(), func() {
 		s.Mover.Move(cmd, st.lun, w, func(sim.Time) {
-			// Response PDU back to the initiator.
-			s.Mover.SendPDU(s.Target.Cfg.CmdPDUBytes, false, func(now sim.Time) {
+			// Response PDU back to the initiator. A dropped response is
+			// recovered by the initiator timeout replaying the command.
+			s.Mover.SendPDU(s.Target.Cfg.CmdPDUBytes, false, func(now sim.Time, ok bool) {
+				if !ok {
+					return
+				}
 				s.Target.Served++
 				eng.Tracef("iscsi", "done %s lun=%d len=%d lat=%.6fs",
 					cmd.Op, cmd.LUN, cmd.Length, float64(now-cmd.Issued))

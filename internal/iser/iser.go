@@ -199,10 +199,14 @@ func (m *Mover) AttachPath(f *fluid.Flow, op iscsi.Op, lunID int, initBuf *numa.
 
 // SendPDU implements iscsi.Mover using the first portal's latency. Control
 // PDUs are small SEND messages and are not charged against bulk bandwidth.
-func (m *Mover) SendPDU(size float64, toTarget bool, fn func(now sim.Time)) {
+// A PDU submitted while the portal link is dark reports ok=false, giving
+// the session's recovery logic an explicit drop instead of a silent hang.
+func (m *Mover) SendPDU(size float64, toTarget bool, fn func(now sim.Time, ok bool)) {
 	l := m.Portals[0].Link
 	m.eng.Schedule(m.P.RDMA.OpLatency, func() {
-		l.Send(size, fn)
+		if !l.Send(size, func(now sim.Time) { fn(now, true) }) {
+			fn(m.eng.Now(), false)
+		}
 	})
 }
 

@@ -281,12 +281,80 @@ func TestDefaultPolicyWritesBurnMoreCPU(t *testing.T) {
 func TestSendPDULatency(t *testing.T) {
 	r := newBackend(t, numa.PolicyBind, 1)
 	var at sim.Time
-	r.mover.SendPDU(128, true, func(now sim.Time) { at = now })
+	r.mover.SendPDU(128, true, func(now sim.Time, ok bool) {
+		if !ok {
+			t.Fatal("PDU dropped on a healthy link")
+		}
+		at = now
+	})
 	r.eng.Run()
 	// opLatency + one-way + serialization.
 	min := 5e-6 + 0.144e-3/2
 	if float64(at) < min {
 		t.Fatalf("PDU at %v, want ≥ %v", at, min)
+	}
+}
+
+func TestSendPDUReportsDropOnDarkLink(t *testing.T) {
+	r := newBackend(t, numa.PolicyBind, 1)
+	r.links[0].Fail() // portal 0 carries PDUs
+	delivered, dropped := false, false
+	r.mover.SendPDU(128, true, func(_ sim.Time, ok bool) {
+		if ok {
+			delivered = true
+		} else {
+			dropped = true
+		}
+	})
+	r.eng.Run()
+	if delivered || !dropped {
+		t.Fatalf("delivered=%v dropped=%v, want drop report on dark link", delivered, dropped)
+	}
+}
+
+func TestSessionDownPropagatesThroughIser(t *testing.T) {
+	// iscsi.ErrSessionDown must surface at the initiator through the real
+	// iser mover, not just the in-package fakes.
+	r := newBackend(t, numa.PolicyBind, 1)
+	r.sess.Close()
+	var got error
+	called := false
+	buf := r.init.M.NewBuffer("b", r.init.M.Node(0))
+	r.sess.Submit(&iscsi.Command{Op: iscsi.OpRead, LUN: 0, Length: units.MB, Buffer: buf,
+		OnComplete: func(_ sim.Time, err error) { got, called = err, true }})
+	r.eng.Run()
+	if !called {
+		t.Fatal("OnComplete never fired on a closed session")
+	}
+	if got != iscsi.ErrSessionDown {
+		t.Fatalf("err = %v, want iscsi.ErrSessionDown", got)
+	}
+}
+
+func TestSessionRecoveryThroughIser(t *testing.T) {
+	// A dark portal drops the command PDU; with recovery enabled the
+	// session replays it after the link heals and the command completes.
+	r := newBackend(t, numa.PolicyBind, 1)
+	r.sess.MaxReplays = 8
+	r.sess.ReplayDelay = 20 * sim.Millisecond
+	r.eng.At(0.001, func() { r.links[0].Fail() })
+	r.eng.At(0.1, func() { r.links[0].Restore() })
+	buf := r.init.M.NewBuffer("b", r.init.M.Node(0))
+	var got error
+	called := false
+	r.eng.At(0.002, func() {
+		r.sess.Submit(&iscsi.Command{Op: iscsi.OpWrite, LUN: 0, Length: 4 * units.MB, Buffer: buf,
+			OnComplete: func(_ sim.Time, err error) { got, called = err, true }})
+	})
+	r.eng.Run()
+	if !called {
+		t.Fatal("command never completed despite recovery")
+	}
+	if got != nil {
+		t.Fatalf("err = %v, want success after replay", got)
+	}
+	if r.sess.Replays < 1 || r.sess.Recovered != 1 {
+		t.Fatalf("replays=%d recovered=%d, want ≥1 and 1", r.sess.Replays, r.sess.Recovered)
 	}
 }
 

@@ -25,6 +25,46 @@ import (
 	"e2edt/internal/sim"
 )
 
+// Status is the completion status of a posted work request, mirroring the
+// verbs CQE status codes this simulation distinguishes.
+type Status int
+
+const (
+	// StatusOK: the op completed successfully (IBV_WC_SUCCESS).
+	StatusOK Status = iota
+	// StatusTimeout: the op exceeded Params.OpTimeout — the RC retry count
+	// was exhausted (IBV_WC_RETRY_EXC_ERR). The QP enters the error state.
+	StatusTimeout
+	// StatusQPError: the op was aborted because the QP entered the error
+	// state (link down or injected error burst) while it was in flight.
+	StatusQPError
+	// StatusFlushed: the op was posted to, or drained from, a QP already in
+	// the error state (IBV_WC_WR_FLUSH_ERR).
+	StatusFlushed
+)
+
+// String names the status like a CQE status code.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusTimeout:
+		return "retry-exceeded"
+	case StatusQPError:
+		return "qp-error"
+	default:
+		return "flushed"
+	}
+}
+
+// Err returns nil for StatusOK and a descriptive error otherwise.
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("rdma: completion status %s", s)
+}
+
 // Params calibrates the verbs layer.
 type Params struct {
 	// ReadPenalty (≥1) multiplies wire usage for RDMA READ, reflecting the
@@ -35,6 +75,12 @@ type Params struct {
 	// ControlBytes is the size of a SEND-based control message used for
 	// latency computation when the caller does not specify one.
 	ControlBytes float64
+	// OpTimeout, when positive, bounds how long a posted RDMA READ/WRITE
+	// may stay outstanding: on expiry the op completes with StatusTimeout
+	// and the QP enters the error state, like an RC QP exhausting its retry
+	// count. Zero disables the timer — ops on a dark link then hang until
+	// the link event itself errors the QP.
+	OpTimeout sim.Duration
 }
 
 // DefaultParams returns values calibrated to the paper's measurements.
@@ -57,6 +103,11 @@ type MR struct {
 // QP is a reliable-connection queue pair bound to one link. Both endpoints
 // share the QP object; direction is inferred from the MRs passed to each
 // operation.
+//
+// Like a real RC QP, the pair has an error state: a link failure, an
+// injected error burst, or an op timeout moves the QP to error, flushes
+// every outstanding op with an error completion, and fails subsequent
+// posts with StatusFlushed until Reset returns the QP to service.
 type QP struct {
 	Link   *fabric.Link
 	Params Params
@@ -65,11 +116,31 @@ type QP struct {
 
 	// Posted counts work requests posted, for diagnostics.
 	Posted int64
-	// Completed counts completions delivered.
+	// Completed counts successful completions delivered.
 	Completed int64
+	// Errors counts error completions delivered (timeouts, flushes).
+	Errors int64
+	// OnError, when set, fires once per transition into the error state
+	// with the status that caused it. Protocol layers hook session
+	// re-establishment here.
+	OnError func(now sim.Time, st Status)
+
+	errored     bool
+	outstanding []*op
 }
 
-// NewQP creates a queue pair over the link.
+// op is one tracked work request in flight.
+type op struct {
+	kind    string
+	onDone  func(sim.Time, Status)
+	post    *sim.Event      // pending post/request-propagation phase
+	tr      *fluid.Transfer // in-flight DMA phase
+	timeout *sim.Event
+	done    bool
+}
+
+// NewQP creates a queue pair over the link. The QP watches the link: a
+// failure or error burst moves it to the error state.
 func NewQP(l *fabric.Link, p Params) *QP {
 	if p.ReadPenalty < 1 {
 		panic(fmt.Sprintf("rdma: ReadPenalty %v < 1", p.ReadPenalty))
@@ -77,7 +148,127 @@ func NewQP(l *fabric.Link, p Params) *QP {
 	if p.OpLatency < 0 {
 		panic("rdma: negative OpLatency")
 	}
-	return &QP{Link: l, Params: p, sim: l.Sim(), eng: l.Engine()}
+	if p.OpTimeout < 0 {
+		panic("rdma: negative OpTimeout")
+	}
+	q := &QP{Link: l, Params: p, sim: l.Sim(), eng: l.Engine()}
+	l.Watch(func(ev fabric.Event) {
+		switch ev.Kind {
+		case fabric.EventDown, fabric.EventErrorBurst:
+			q.enterError(StatusQPError)
+		}
+	})
+	return q
+}
+
+// Errored reports whether the QP is in the error state.
+func (q *QP) Errored() bool { return q.errored }
+
+// Outstanding returns the number of tracked ops in flight.
+func (q *QP) Outstanding() int { return len(q.outstanding) }
+
+// Reset returns an errored QP to service (RESET→INIT→RTR→RTS in one step;
+// the state-machine walk is below the simulation's timing resolution).
+// Outstanding ops were already flushed when the QP errored.
+func (q *QP) Reset() { q.errored = false }
+
+// InjectError forces the QP into the error state, flushing outstanding
+// ops — the hook used by the fault plane to model spurious CQE errors that
+// are not tied to a link transition.
+func (q *QP) InjectError() { q.enterError(StatusQPError) }
+
+// enterError transitions the QP into the error state exactly once,
+// flushing every outstanding op with StatusFlushed, then reporting the
+// transition through OnError.
+func (q *QP) enterError(st Status) {
+	if q.errored {
+		return
+	}
+	q.errored = true
+	q.eng.Tracef("rdma", "QP on %s entered error state (%s)", q.Link.Cfg.Name, st)
+	flush := q.outstanding
+	q.outstanding = nil
+	for _, o := range flush {
+		q.abortOp(o)
+		q.deliver(o, StatusFlushed)
+	}
+	if q.OnError != nil {
+		q.OnError(q.eng.Now(), st)
+	}
+}
+
+// abortOp cancels an op's pending phases (post event, DMA transfer, timer).
+func (q *QP) abortOp(o *op) {
+	if o.post != nil {
+		q.eng.Cancel(o.post)
+		o.post = nil
+	}
+	if o.tr != nil && o.tr.Active() {
+		q.sim.Cancel(o.tr)
+	}
+	if o.timeout != nil {
+		q.eng.Cancel(o.timeout)
+		o.timeout = nil
+	}
+}
+
+// deliver fires an op's completion exactly once and updates counters.
+func (q *QP) deliver(o *op, st Status) {
+	if o.done {
+		return
+	}
+	o.done = true
+	if o.timeout != nil {
+		q.eng.Cancel(o.timeout)
+		o.timeout = nil
+	}
+	if st == StatusOK {
+		q.Completed++
+	} else {
+		q.Errors++
+		q.eng.Tracef("rdma", "%s on %s completed with %s", o.kind, q.Link.Cfg.Name, st)
+	}
+	if o.onDone != nil {
+		o.onDone(q.eng.Now(), st)
+	}
+}
+
+// finish removes a completed op from the outstanding set and delivers.
+func (q *QP) finish(o *op, st Status) {
+	for i, e := range q.outstanding {
+		if e == o {
+			q.outstanding = append(q.outstanding[:i], q.outstanding[i+1:]...)
+			break
+		}
+	}
+	q.deliver(o, st)
+}
+
+// expire handles an op timeout: the op gets an error completion and the
+// QP enters the error state (flushing everything else outstanding).
+func (q *QP) expire(o *op) {
+	if o.done {
+		return
+	}
+	q.abortOp(o)
+	q.finish(o, StatusTimeout)
+	q.enterError(StatusTimeout)
+}
+
+// track registers a new op; posting to an errored QP flushes immediately
+// (after the post latency, as the NIC would).
+func (q *QP) track(kind string, onDone func(sim.Time, Status)) (*op, bool) {
+	q.Posted++
+	o := &op{kind: kind, onDone: onDone}
+	if q.errored {
+		q.eng.Schedule(q.Params.OpLatency, func() { q.deliver(o, StatusFlushed) })
+		return o, false
+	}
+	q.outstanding = append(q.outstanding, o)
+	if q.Params.OpTimeout > 0 {
+		o.timeout = q.eng.Schedule(q.Params.OpTimeout, func() { q.expire(o) })
+	}
+	return o, true
 }
 
 // RegisterMR registers buf for DMA on nic. nic must be an endpoint of the
@@ -99,68 +290,98 @@ func (q *QP) opposite(local, remote *MR) {
 // Write posts a one-sided RDMA WRITE moving size bytes from local to
 // remote. onDone fires at the initiator when the transfer's last byte has
 // been placed (reliable-connection acknowledged completion: one extra
-// one-way delay).
+// one-way delay). On an error completion onDone is not called; use
+// WriteStatus (or the QP's OnError hook) to observe errors.
 func (q *QP) Write(local, remote *MR, size float64, tag string, onDone func(now sim.Time)) {
+	q.WriteStatus(local, remote, size, tag, okOnly(onDone))
+}
+
+// WriteStatus is Write with an explicit completion status: onDone always
+// fires exactly once — StatusOK on success, StatusTimeout/StatusFlushed on
+// failure — instead of hanging forever on a dark fabric.
+func (q *QP) WriteStatus(local, remote *MR, size float64, tag string, onDone func(now sim.Time, st Status)) {
 	q.opposite(local, remote)
-	q.post(local, remote, size, 1, tag, onDone)
+	o, live := q.track("write", onDone)
+	if !live {
+		return
+	}
+	o.post = q.eng.Schedule(q.Params.OpLatency, func() {
+		o.post = nil
+		q.start(o, local, remote, size, 1, tag)
+	})
 }
 
 // Read posts a one-sided RDMA READ pulling size bytes from remote into
 // local. The request first crosses the wire (one-way delay), then data
-// flows back with the read wire penalty.
+// flows back with the read wire penalty. onDone fires only on success; use
+// ReadStatus to observe errors.
 func (q *QP) Read(local, remote *MR, size float64, tag string, onDone func(now sim.Time)) {
+	q.ReadStatus(local, remote, size, tag, okOnly(onDone))
+}
+
+// ReadStatus is Read with an explicit completion status (see WriteStatus).
+func (q *QP) ReadStatus(local, remote *MR, size float64, tag string, onDone func(now sim.Time, st Status)) {
 	q.opposite(local, remote)
-	q.Posted++
-	q.eng.Schedule(q.Params.OpLatency+q.Link.OneWayDelay(), func() {
+	o, live := q.track("read", onDone)
+	if !live {
+		return
+	}
+	o.post = q.eng.Schedule(q.Params.OpLatency+q.Link.OneWayDelay(), func() {
+		o.post = nil
 		// Responder streams data back: source NIC is the remote side.
-		q.start(remote, local, size, q.Params.ReadPenalty, tag, onDone)
+		q.start(o, remote, local, size, q.Params.ReadPenalty, tag)
 	})
+}
+
+// okOnly adapts a success-only callback to the status interface.
+func okOnly(onDone func(now sim.Time)) func(sim.Time, Status) {
+	return func(now sim.Time, st Status) {
+		if st == StatusOK && onDone != nil {
+			onDone(now)
+		}
+	}
 }
 
 // Send posts a two-sided SEND of size bytes; onRecv fires at the receiver
 // after serialization and propagation. Control-plane messages are not
-// charged against bulk bandwidth.
+// charged against bulk bandwidth. A SEND dropped on a dark link counts as
+// an error completion but does not error the QP (the simulation's control
+// planes carry their own retry logic).
 func (q *QP) Send(size float64, onRecv func(now sim.Time)) {
 	if size <= 0 {
 		size = q.Params.ControlBytes
 	}
 	q.Posted++
 	q.eng.Schedule(q.Params.OpLatency, func() {
-		q.Link.Send(size, func(now sim.Time) {
+		ok := q.Link.Send(size, func(now sim.Time) {
 			q.Completed++
 			onRecv(now)
 		})
+		if !ok {
+			q.Errors++
+		}
 	})
 }
 
-// post issues the DMA for a write-direction op after the post latency.
-func (q *QP) post(src, dst *MR, size float64, wirePenalty float64, tag string, onDone func(sim.Time)) {
-	q.Posted++
-	q.eng.Schedule(q.Params.OpLatency, func() {
-		q.start(src, dst, size, wirePenalty, tag, onDone)
-	})
-}
-
-// start creates the fluid transfer for payload moving src→dst.
-func (q *QP) start(src, dst *MR, size float64, wirePenalty float64, tag string, onDone func(sim.Time)) {
+// start creates the fluid transfer for op o's payload moving src→dst.
+func (q *QP) start(o *op, src, dst *MR, size float64, wirePenalty float64, tag string) {
 	f := q.sim.NewFlow(fmt.Sprintf("rdma/%s->%s", src.Name, dst.Name), wireDemand)
 	src.NIC.ChargeDMA(f, src.Buf, 1, false, tag)
 	q.Link.ChargeWire(f, src.NIC, wirePenalty, tag)
 	dst.NIC.ChargeDMA(f, dst.Buf, 1, true, tag)
 	delay := q.Link.OneWayDelay()
-	q.sim.Start(&fluid.Transfer{
+	o.tr = &fluid.Transfer{
 		Flow:      f,
 		Remaining: size,
 		OnComplete: func(sim.Time) {
-			// Completion surfaces after the tail propagates.
-			q.eng.Schedule(delay, func() {
-				q.Completed++
-				if onDone != nil {
-					onDone(q.eng.Now())
-				}
-			})
+			o.tr = nil
+			// Completion surfaces after the tail propagates. The data is
+			// already placed, so a QP error during the tail does not undo
+			// the op; it still completes OK.
+			q.eng.Schedule(delay, func() { q.finish(o, StatusOK) })
 		},
-	})
+	}
+	q.sim.Start(o.tr)
 }
 
 // wireDemand is effectively unbounded; link and memory resources bound ops.

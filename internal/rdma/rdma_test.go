@@ -240,3 +240,144 @@ func TestWANWriteIncludesPropagation(t *testing.T) {
 		t.Fatalf("WAN write done at %v, want %v", done, want)
 	}
 }
+
+// mrPair registers a source MR on A and a destination MR on B.
+func (r *rig) mrPair(t *testing.T) (*MR, *MR) {
+	t.Helper()
+	src := r.ha.M.NewBuffer("fsrc", r.ha.M.Node(0))
+	dst := r.hb.M.NewBuffer("fdst", r.hb.M.Node(0))
+	return r.qp.RegisterMR("fsrc", r.link.A, src), r.qp.RegisterMR("fdst", r.link.B, dst)
+}
+
+func TestOpTimeoutErrorsQP(t *testing.T) {
+	p := DefaultParams()
+	p.OpTimeout = 50 * sim.Millisecond
+	r := newRig(t, lanCfg(), p)
+	lmr, rmr := r.mrPair(t)
+	r.link.Fail() // dark before the post: DMA never progresses
+	r.qp.Reset()  // clear the error the failure itself raised
+	var st Status
+	var at sim.Time
+	r.qp.WriteStatus(lmr, rmr, float64(units.GB), "x", func(now sim.Time, s Status) {
+		st, at = s, now
+	})
+	var errSt Status
+	r.qp.OnError = func(_ sim.Time, s Status) { errSt = s }
+	r.eng.Run()
+	if st != StatusTimeout {
+		t.Fatalf("status = %v, want StatusTimeout", st)
+	}
+	if math.Abs(float64(at)-float64(p.OpTimeout)) > 1e-9 {
+		t.Fatalf("timed out at %v, want %v", at, sim.Time(p.OpTimeout))
+	}
+	if errSt != StatusTimeout {
+		t.Fatalf("OnError status = %v, want StatusTimeout", errSt)
+	}
+	if !r.qp.Errored() {
+		t.Fatal("QP should be in error state after op timeout")
+	}
+	if r.qp.Errors != 1 || r.qp.Completed != 0 {
+		t.Fatalf("errors/completed = %d/%d, want 1/0", r.qp.Errors, r.qp.Completed)
+	}
+}
+
+func TestLinkFailureFlushesOutstanding(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	lmr, rmr := r.mrPair(t)
+	statuses := map[Status]int{}
+	for i := 0; i < 3; i++ {
+		r.qp.WriteStatus(lmr, rmr, float64(units.GB), "x", func(_ sim.Time, s Status) {
+			statuses[s]++
+		})
+	}
+	var errAt sim.Time
+	r.qp.OnError = func(now sim.Time, s Status) { errAt = now }
+	r.eng.Schedule(10*sim.Millisecond, func() { r.link.Fail() })
+	r.eng.Run()
+	if statuses[StatusFlushed] != 3 {
+		t.Fatalf("flushed = %d, want 3 (got %v)", statuses[StatusFlushed], statuses)
+	}
+	if float64(errAt) != 10e-3 {
+		t.Fatalf("OnError at %v, want 10ms", errAt)
+	}
+	if r.qp.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after flush", r.qp.Outstanding())
+	}
+}
+
+func TestPostToErroredQPFlushes(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	lmr, rmr := r.mrPair(t)
+	r.qp.InjectError()
+	var st Status
+	fired := 0
+	r.qp.WriteStatus(lmr, rmr, 1000, "x", func(_ sim.Time, s Status) { st, fired = s, fired+1 })
+	r.eng.Run()
+	if fired != 1 || st != StatusFlushed {
+		t.Fatalf("fired=%d status=%v, want 1/StatusFlushed", fired, st)
+	}
+}
+
+func TestResetReturnsQPToService(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	lmr, rmr := r.mrPair(t)
+	r.qp.InjectError()
+	r.qp.Reset()
+	if r.qp.Errored() {
+		t.Fatal("QP still errored after Reset")
+	}
+	var st Status = -1
+	r.qp.WriteStatus(lmr, rmr, float64(units.MB), "x", func(_ sim.Time, s Status) { st = s })
+	r.eng.Run()
+	if st != StatusOK {
+		t.Fatalf("post-Reset write status = %v, want StatusOK", st)
+	}
+}
+
+func TestErrorBurstErrorsQPWithoutCapacityChange(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	r.link.InjectErrorBurst()
+	if !r.qp.Errored() {
+		t.Fatal("error burst should move QP to error state")
+	}
+	if r.link.Fraction() != 1 {
+		t.Fatalf("link fraction = %v, want 1 (burst leaves capacity alone)", r.link.Fraction())
+	}
+}
+
+func TestTimeoutRacesCompletion(t *testing.T) {
+	// Op finishes well before the timeout: timer must be cancelled, no
+	// spurious error later.
+	p := DefaultParams()
+	p.OpTimeout = 10 // seconds, far beyond the op
+	r := newRig(t, lanCfg(), p)
+	lmr, rmr := r.mrPair(t)
+	var st Status = -1
+	fired := 0
+	r.qp.WriteStatus(lmr, rmr, float64(units.MB), "x", func(_ sim.Time, s Status) { st, fired = s, fired+1 })
+	r.eng.Run()
+	if fired != 1 || st != StatusOK {
+		t.Fatalf("fired=%d status=%v, want 1/StatusOK", fired, st)
+	}
+	if r.qp.Errored() {
+		t.Fatal("QP errored after clean completion")
+	}
+}
+
+func TestSendOnDarkLinkCountsError(t *testing.T) {
+	r := newRig(t, lanCfg(), DefaultParams())
+	r.link.Fail()
+	r.qp.Reset()
+	delivered := false
+	r.qp.Send(100, func(sim.Time) { delivered = true })
+	r.eng.Run()
+	if delivered {
+		t.Fatal("send delivered on a dark link")
+	}
+	if r.qp.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", r.qp.Errors)
+	}
+	if r.link.Drops != 1 {
+		t.Fatalf("link drops = %d, want 1", r.link.Drops)
+	}
+}

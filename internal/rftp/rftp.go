@@ -56,7 +56,27 @@ type Params struct {
 	StartOffset int64
 	// RDMA parameterizes the verbs layer.
 	RDMA rdma.Params
+
+	// AckTimeout, when positive, enables in-protocol recovery: each stream
+	// tracks ACK progress and, after AckTimeout without any, declares its
+	// outstanding credit window lost, re-establishes the session, and
+	// retransmits from the acked offset. Zero (the default) preserves the
+	// legacy behavior: a stream on a dark link stalls until an outer
+	// watchdog restarts the whole transfer.
+	AckTimeout sim.Duration
+	// RetryBackoff is the initial delay before a recovery attempt; each
+	// consecutive failed attempt doubles it up to RetryBackoffMax.
+	// Zero selects 100 ms when recovery is enabled.
+	RetryBackoff sim.Duration
+	// RetryBackoffMax caps the exponential backoff (default 5 s).
+	RetryBackoffMax sim.Duration
+	// MaxStreamRetries bounds consecutive failed recovery attempts on one
+	// stream before the transfer gives up and fires OnFailure (default 16).
+	MaxStreamRetries int
 }
+
+// recoveryEnabled reports whether in-protocol recovery is on.
+func (p Params) recoveryEnabled() bool { return p.AckTimeout > 0 }
 
 // DefaultParams matches the paper's Figure 4 profile on 2.2 GHz cores.
 func DefaultParams() Params {
@@ -114,8 +134,30 @@ func (c Config) Validate() error {
 
 // stream is one RDMA data channel.
 type stream struct {
+	idx      int
 	link     *fabric.Link
 	transfer *fluid.Transfer
+	// build recreates the stream's fully-charged fluid flow for a given
+	// residual size; fluid.Cancel removes the flow from the network, so
+	// every retransmission attempt needs a fresh one.
+	build func(remaining float64) (*fluid.Transfer, error)
+	// qp is the stream's reliable connection when recovery is enabled; its
+	// error completions trigger immediate loss declaration.
+	qp *rdma.QP
+	// perStream is this stream's share of the session; acked counts bytes
+	// definitely delivered, remaining = perStream − acked.
+	perStream float64
+	acked     float64
+	remaining float64
+	// retries counts consecutive failed recovery attempts (reset on a
+	// successful resume); lastMoved/lastProgressAt drive stall detection.
+	retries        int
+	lastMoved      float64
+	lastProgressAt sim.Time
+	recovering     bool
+	faultAt        sim.Time
+	pending        *sim.Event
+	done           bool
 }
 
 // Transfer is a running (or finished) RFTP session.
@@ -134,6 +176,21 @@ type Transfer struct {
 	// OnComplete fires when every stream has drained and the session has
 	// closed (finite transfers only).
 	OnComplete func(now sim.Time)
+	// OnFailure fires once if in-protocol recovery is exhausted
+	// (MaxStreamRetries consecutive failed attempts on some stream); the
+	// transfer is torn down first, so an outer scheduler may requeue.
+	OnFailure func(now sim.Time)
+
+	// Retransmitted counts payload bytes scheduled for retransmission
+	// after declared losses.
+	Retransmitted float64
+	// Recoveries counts successful in-protocol stream re-establishments.
+	Recoveries int
+
+	recoveryLat []sim.Duration
+	ticker      *sim.Ticker
+	failed      bool
+	stopped     bool
 }
 
 // Start launches an RFTP transfer of size bytes (math.Inf(1) for an
@@ -159,6 +216,20 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 			return nil, fmt.Errorf("rftp: StartOffset %d beyond size %g", p.StartOffset, size)
 		}
 		size -= float64(p.StartOffset)
+	}
+	if p.recoveryEnabled() {
+		if p.RetryBackoff <= 0 {
+			p.RetryBackoff = 100 * sim.Millisecond
+		}
+		if p.RetryBackoffMax <= 0 {
+			p.RetryBackoffMax = 5 * sim.Second
+		}
+		if p.MaxStreamRetries <= 0 {
+			p.MaxStreamRetries = 16
+		}
+		if p.RDMA.ReadPenalty < 1 {
+			p.RDMA = rdma.DefaultParams()
+		}
 	}
 	t := &Transfer{
 		Cfg: cfg, P: p, Size: size, Sender: senderHost,
@@ -211,64 +282,277 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 		snd := mkSide(l, sndNIC, "c")
 		rcv := mkSide(l, l.Peer(sndNIC), "s")
 
-		f := t.sim.NewFlow(fmt.Sprintf("rftp/%s/s%d", l.Cfg.Name, i), t.windowCap(l))
-		tag := "rftp"
-		// Data loading (pipelined onto a dedicated I/O thread).
-		if err := src.Attach(f, snd.io, snd.buf, 1, tag); err != nil {
-			return nil, fmt.Errorf("rftp: source: %w", err)
+		st := &stream{idx: i, link: l, perStream: perStream, remaining: perStream}
+		li, sndNICi, sndS, rcvS := l, sndNIC, snd, rcv
+		st.build = func(remaining float64) (*fluid.Transfer, error) {
+			f := t.sim.NewFlow(fmt.Sprintf("rftp/%s/s%d", li.Cfg.Name, st.idx), t.windowCap(li))
+			tag := "rftp"
+			// Data loading (pipelined onto a dedicated I/O thread).
+			if err := src.Attach(f, sndS.io, sndS.buf, 1, tag); err != nil {
+				return nil, fmt.Errorf("rftp: source: %w", err)
+			}
+			// Sender protocol processing: per-byte plus per-block costs.
+			sndS.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
+			if cfg.Checksum {
+				sndS.io.ChargeMemory(f, sndS.buf, 1, false, host.CatUser)
+				sndS.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
+			}
+			// Zero-copy wire path.
+			sndNICi.ChargeDMA(f, sndS.buf, 1, false, tag)
+			li.ChargeWire(f, sndNICi, 1+p.CtrlBytesPerBlock/bs, tag)
+			rcvS.nic.ChargeDMA(f, rcvS.buf, 1, true, tag)
+			// Receiver protocol processing and offload.
+			rcvS.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
+			if cfg.Checksum {
+				rcvS.io.ChargeMemory(f, rcvS.buf, 1, false, host.CatUser)
+				rcvS.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
+			}
+			if err := dst.Attach(f, rcvS.io, rcvS.buf, 1, tag); err != nil {
+				return nil, fmt.Errorf("rftp: sink: %w", err)
+			}
+			return &fluid.Transfer{
+				Flow:       f,
+				Remaining:  remaining,
+				OnComplete: func(now sim.Time) { t.streamDone(st, now) },
+			}, nil
 		}
-		// Sender protocol processing: per-byte plus per-block costs.
-		snd.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
-		if cfg.Checksum {
-			snd.io.ChargeMemory(f, snd.buf, 1, false, host.CatUser)
-			snd.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
+		tr, err := st.build(perStream)
+		if err != nil {
+			return nil, err
 		}
-		// Zero-copy wire path.
-		sndNIC.ChargeDMA(f, snd.buf, 1, false, tag)
-		l.ChargeWire(f, sndNIC, 1+p.CtrlBytesPerBlock/bs, tag)
-		rcv.nic.ChargeDMA(f, rcv.buf, 1, true, tag)
-		// Receiver protocol processing and offload.
-		rcv.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
-		if cfg.Checksum {
-			rcv.io.ChargeMemory(f, rcv.buf, 1, false, host.CatUser)
-			rcv.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
-		}
-		if err := dst.Attach(f, rcv.io, rcv.buf, 1, tag); err != nil {
-			return nil, fmt.Errorf("rftp: sink: %w", err)
-		}
-
-		st := &stream{link: l}
-		st.transfer = &fluid.Transfer{
-			Flow:      f,
-			Remaining: perStream,
-			OnComplete: func(sim.Time) {
-				t.done++
-				if t.done == cfg.Streams {
-					// Close control exchange: one round trip.
-					l.Send(p.CtrlBytesPerBlock, func(sim.Time) {
-						l.Send(p.CtrlBytesPerBlock, func(now sim.Time) {
-							t.finished = now
-							if t.OnComplete != nil {
-								t.OnComplete(now)
-							}
-						})
-					})
-				}
-			},
-		}
+		st.transfer = tr
 		t.streams = append(t.streams, st)
+	}
+
+	if p.recoveryEnabled() {
+		for _, st := range t.streams {
+			st := st
+			st.qp = rdma.NewQP(st.link, p.RDMA)
+			st.qp.OnError = func(now sim.Time, _ rdma.Status) { t.declareLoss(st, now) }
+		}
+		t.ticker = t.eng.NewTicker(p.AckTimeout/2, t.checkProgress)
 	}
 
 	// Session handshake, then data on every stream.
 	handshake := sim.Duration(p.HandshakeRTTs) * sim.Duration(links[0].RTT())
 	t.eng.Schedule(handshake, func() {
+		if t.stopped || t.failed {
+			return
+		}
 		t.eng.Tracef("rftp", "session up: %d streams, bs=%d, credits=%d",
 			cfg.Streams, cfg.BlockSize, cfg.CreditsPerStream)
 		for _, st := range t.streams {
+			// A stream that lost its link pre-handshake is already in the
+			// recovery path and starts (or restarted) there.
+			if st.recovering || st.done || st.transfer.Active() {
+				continue
+			}
 			t.sim.Start(st.transfer)
+			st.lastProgressAt = t.eng.Now()
 		}
 	})
 	return t, nil
+}
+
+// window is the per-stream credit window in bytes: bytes that may be in
+// flight unacked, and therefore the amount conservatively declared lost
+// when a stream stalls.
+func (t *Transfer) window() float64 {
+	return float64(t.Cfg.CreditsPerStream) * float64(t.Cfg.BlockSize)
+}
+
+// streamDone marks a stream fully delivered; the last one closes the
+// session with a control round trip.
+func (t *Transfer) streamDone(s *stream, _ sim.Time) {
+	s.done = true
+	s.acked = s.perStream
+	s.remaining = 0
+	t.done++
+	if t.done == len(t.streams) {
+		t.closeSession(s.link)
+	}
+}
+
+// closeSession runs the close control exchange. With recovery enabled a
+// dropped close message is retried after the base backoff; otherwise it is
+// silently lost, as before (an outer watchdog's problem).
+func (t *Transfer) closeSession(l *fabric.Link) {
+	var try func()
+	retry := func() {
+		if !t.P.recoveryEnabled() || t.stopped || t.failed {
+			return
+		}
+		t.eng.Schedule(t.P.RetryBackoff, try)
+	}
+	try = func() {
+		ok := l.Send(t.P.CtrlBytesPerBlock, func(sim.Time) {
+			ok2 := l.Send(t.P.CtrlBytesPerBlock, func(now sim.Time) { t.finish(now) })
+			if !ok2 {
+				retry()
+			}
+		})
+		if !ok {
+			retry()
+		}
+	}
+	try()
+}
+
+// finish records completion and releases the stall ticker.
+func (t *Transfer) finish(now sim.Time) {
+	t.finished = now
+	if t.ticker != nil {
+		t.ticker.Stop()
+		t.ticker = nil
+	}
+	if t.OnComplete != nil {
+		t.OnComplete(now)
+	}
+}
+
+// checkProgress is the ACK stall detector: a stream whose fluid transfer
+// has moved nothing for AckTimeout declares its window lost. Degraded
+// links keep making (slow) progress and never trip this.
+func (t *Transfer) checkProgress(now sim.Time) {
+	if t.failed || t.stopped || t.finished > 0 {
+		return
+	}
+	t.sim.Sync()
+	for _, s := range t.streams {
+		if s.done || s.recovering || !s.transfer.Active() {
+			continue
+		}
+		if m := s.transfer.Transferred(); m > s.lastMoved {
+			s.lastMoved = m
+			s.lastProgressAt = now
+			continue
+		}
+		if now-s.lastProgressAt >= sim.Time(t.P.AckTimeout) {
+			t.declareLoss(s, now)
+		}
+	}
+}
+
+// declareLoss folds a stalled stream's progress — everything beyond the
+// trailing credit window counts as acked, the window itself is declared
+// lost and will be retransmitted — and schedules session re-establishment.
+func (t *Transfer) declareLoss(s *stream, now sim.Time) {
+	if t.failed || t.stopped || s.done || s.recovering {
+		return
+	}
+	s.recovering = true
+	s.faultAt = now
+	t.sim.Sync()
+	m := s.transfer.Transferred()
+	if s.transfer.Active() {
+		t.sim.Cancel(s.transfer)
+	}
+	goodAcked := math.Max(0, m-t.window())
+	lost := m - goodAcked
+	s.acked += goodAcked
+	if !math.IsInf(s.remaining, 1) {
+		s.remaining -= goodAcked
+	}
+	t.Retransmitted += lost
+	t.eng.Tracef("rftp", "stream %d on %s lost window: %g bytes to retransmit, resume offset %g",
+		s.idx, s.link.Cfg.Name, lost, s.acked)
+	t.scheduleRecovery(s)
+}
+
+// scheduleRecovery arms the next recovery attempt with exponential
+// backoff, failing the transfer when retries are exhausted.
+func (t *Transfer) scheduleRecovery(s *stream) {
+	if t.failed || t.stopped || s.done {
+		return
+	}
+	if s.retries >= t.P.MaxStreamRetries {
+		t.fail(t.eng.Now())
+		return
+	}
+	backoff := t.P.RetryBackoff
+	for i := 0; i < s.retries && backoff < t.P.RetryBackoffMax; i++ {
+		backoff *= 2
+	}
+	if backoff > t.P.RetryBackoffMax {
+		backoff = t.P.RetryBackoffMax
+	}
+	s.retries++
+	s.pending = t.eng.Schedule(backoff, func() {
+		s.pending = nil
+		t.attemptResume(s)
+	})
+}
+
+// attemptResume re-establishes the stream session: one control round trip
+// on the link. A drop (link still dark) backs off and tries again.
+func (t *Transfer) attemptResume(s *stream) {
+	if t.failed || t.stopped || s.done {
+		return
+	}
+	ok := s.link.Send(t.P.CtrlBytesPerBlock, func(sim.Time) {
+		ok2 := s.link.Send(t.P.CtrlBytesPerBlock, func(now sim.Time) { t.resume(s, now) })
+		if !ok2 {
+			t.scheduleRecovery(s)
+		}
+	})
+	if !ok {
+		t.scheduleRecovery(s)
+	}
+}
+
+// resume restarts the stream from its acked offset on a fresh flow.
+func (t *Transfer) resume(s *stream, now sim.Time) {
+	if t.failed || t.stopped || s.done {
+		return
+	}
+	if s.qp != nil {
+		s.qp.Reset()
+	}
+	tr, err := s.build(s.remaining)
+	if err != nil {
+		t.fail(now)
+		return
+	}
+	s.transfer = tr
+	t.sim.Start(tr)
+	s.recovering = false
+	s.retries = 0
+	s.lastMoved = 0
+	s.lastProgressAt = now
+	t.Recoveries++
+	t.recoveryLat = append(t.recoveryLat, sim.Duration(now-s.faultAt))
+	t.eng.Tracef("rftp", "stream %d re-established on %s after %v: offset %g, %g to go",
+		s.idx, s.link.Cfg.Name, sim.Duration(now-s.faultAt), s.acked, s.remaining)
+}
+
+// fail gives up after exhausted recovery: tear down and report once.
+func (t *Transfer) fail(now sim.Time) {
+	if t.failed || t.stopped {
+		return
+	}
+	t.failed = true
+	t.teardown()
+	t.eng.Tracef("rftp", "transfer failed: recovery exhausted")
+	if t.OnFailure != nil {
+		t.OnFailure(now)
+	}
+}
+
+// teardown cancels everything in flight and stops the stall ticker.
+func (t *Transfer) teardown() {
+	if t.ticker != nil {
+		t.ticker.Stop()
+		t.ticker = nil
+	}
+	for _, s := range t.streams {
+		if s.pending != nil {
+			t.eng.Cancel(s.pending)
+			s.pending = nil
+		}
+		if s.transfer.Active() {
+			t.sim.Cancel(s.transfer)
+		}
+	}
 }
 
 // windowCap is the credit-limited per-stream rate.
@@ -280,12 +564,25 @@ func (t *Transfer) windowCap(l *fabric.Link) float64 {
 	return float64(t.Cfg.CreditsPerStream) * float64(t.Cfg.BlockSize) / rtt
 }
 
-// Transferred returns total payload bytes moved so far.
+// Transferred returns total payload bytes delivered so far. Without
+// recovery this is the raw fluid progress. With recovery enabled it is the
+// exactly-once delivered count: per stream, acked bytes plus current
+// progress beyond the unacked credit window — never bytes that a later
+// loss declaration could retransmit. It is monotonic, so an outer
+// scheduler may persist it as a resume offset (Params.StartOffset).
 func (t *Transfer) Transferred() float64 {
 	t.sim.Sync()
 	sum := 0.0
+	w := t.window()
 	for _, st := range t.streams {
-		sum += st.transfer.Transferred()
+		if !t.P.recoveryEnabled() {
+			sum += st.transfer.Transferred()
+			continue
+		}
+		sum += st.acked
+		if !st.done && !st.recovering && st.transfer.Active() {
+			sum += math.Max(0, st.transfer.Transferred()-w)
+		}
 	}
 	return sum
 }
@@ -306,11 +603,21 @@ func (t *Transfer) Bandwidth() float64 {
 // Finished returns the completion time (zero while running).
 func (t *Transfer) Finished() sim.Time { return t.finished }
 
-// Stop cancels an open-ended transfer's streams.
+// Failed reports whether in-protocol recovery was exhausted.
+func (t *Transfer) Failed() bool { return t.failed }
+
+// RecoveryLatencies returns one sample per successful recovery: virtual
+// time from the loss declaration to the stream flowing again.
+func (t *Transfer) RecoveryLatencies() []sim.Duration {
+	out := make([]sim.Duration, len(t.recoveryLat))
+	copy(out, t.recoveryLat)
+	return out
+}
+
+// Stop cancels an open-ended transfer's streams and any pending recovery.
 func (t *Transfer) Stop() {
-	for _, st := range t.streams {
-		t.sim.Cancel(st.transfer)
-	}
+	t.stopped = true
+	t.teardown()
 }
 
 // Streams returns the per-stream current rates, for diagnostics.

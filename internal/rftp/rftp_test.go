@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"e2edt/internal/fabric"
 	"e2edt/internal/numa"
 	"e2edt/internal/pipe"
 	"e2edt/internal/sim"
@@ -364,5 +365,158 @@ func TestStartOffsetResumesTransfer(t *testing.T) {
 	moved := float64(int64(firstHalf)) + secondHalf
 	if math.Abs(moved-total)/size > 1e-6 {
 		t.Fatalf("interrupted run moved %v total, uninterrupted moved %v", moved, total)
+	}
+}
+
+// recoveryParams enables in-protocol recovery with tight test timings.
+func recoveryParams() Params {
+	p := DefaultParams()
+	p.AckTimeout = 50 * sim.Millisecond
+	p.RetryBackoff = 20 * sim.Millisecond
+	p.RetryBackoffMax = 200 * sim.Millisecond
+	p.MaxStreamRetries = 16
+	return p
+}
+
+func TestRecoverySurvivesLinkFlap(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	size := 12 * float64(units.GB)
+	var doneAt sim.Time
+	failures := 0
+	tr, err := Start(p.Links, p.A, DefaultConfig(), recoveryParams(),
+		pipe.Zero{}, pipe.Null{}, size, func(now sim.Time) { doneAt = now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.OnFailure = func(sim.Time) { failures++ }
+	p.Eng.At(0.2, func() { p.Links[0].Fail() })
+	p.Eng.At(0.5, func() { p.Links[0].Restore() })
+	p.Eng.Run()
+	if doneAt <= 0 {
+		t.Fatal("transfer never completed despite recovery")
+	}
+	if failures != 0 {
+		t.Fatalf("OnFailure fired %d times; recovery should have handled the flap", failures)
+	}
+	if got := tr.Transferred(); math.Abs(got-size)/size > 1e-6 {
+		t.Fatalf("delivered %g, want exactly %g", got, size)
+	}
+	if tr.Recoveries < 1 {
+		t.Fatalf("recoveries = %d, want ≥1", tr.Recoveries)
+	}
+	if tr.Retransmitted <= 0 {
+		t.Fatal("expected retransmitted bytes after a mid-flight flap")
+	}
+	lats := tr.RecoveryLatencies()
+	if len(lats) != tr.Recoveries {
+		t.Fatalf("latency samples = %d, recoveries = %d", len(lats), tr.Recoveries)
+	}
+	for _, l := range lats {
+		if l <= 0 {
+			t.Fatalf("non-positive recovery latency %v", l)
+		}
+	}
+}
+
+func TestRecoveryTransferredMonotonicExactlyOnce(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	size := 8 * float64(units.GB)
+	tr, err := Start(p.Links, p.A, DefaultConfig(), recoveryParams(),
+		pipe.Zero{}, pipe.Null{}, size, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.At(0.1, func() { p.Links[1].Fail() })
+	p.Eng.At(0.35, func() { p.Links[1].Restore() })
+	last := -1.0
+	tk := p.Eng.NewTicker(0.01, func(sim.Time) {
+		got := tr.Transferred()
+		if got < last {
+			t.Fatalf("Transferred went backwards: %g after %g", got, last)
+		}
+		if got > size*(1+1e-9) {
+			t.Fatalf("Transferred %g exceeds size %g (duplicate delivery)", got, size)
+		}
+		last = got
+	})
+	p.Eng.At(3, tk.Stop)
+	p.Eng.Run()
+	if got := tr.Transferred(); math.Abs(got-size)/size > 1e-6 {
+		t.Fatalf("final delivered %g, want %g", got, size)
+	}
+}
+
+func TestRecoveryExhaustionFiresOnFailureOnce(t *testing.T) {
+	w := testbed.NewWAN()
+	prm := recoveryParams()
+	prm.MaxStreamRetries = 3
+	cfg := DefaultConfig()
+	cfg.Streams = 1
+	failures := 0
+	completed := false
+	tr, err := Start([]*fabric.Link{w.Link}, w.A, cfg, prm,
+		pipe.Zero{}, pipe.Null{}, 4*float64(units.GB), func(sim.Time) { completed = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.OnFailure = func(sim.Time) { failures++ }
+	w.Eng.At(0.5, func() { w.Link.Fail() }) // never restored
+	w.Eng.Run()
+	if completed {
+		t.Fatal("transfer completed on a permanently dark link")
+	}
+	if failures != 1 {
+		t.Fatalf("OnFailure fired %d times, want exactly 1", failures)
+	}
+	if !tr.Failed() {
+		t.Fatal("Failed() should report true")
+	}
+}
+
+func TestDegradedLinkSlowsWithoutRetransmit(t *testing.T) {
+	p := testbed.NewMotivatingPair()
+	size := 6 * float64(units.GB)
+	var doneAt sim.Time
+	tr, err := Start(p.Links, p.A, DefaultConfig(), recoveryParams(),
+		pipe.Zero{}, pipe.Null{}, size, func(now sim.Time) { doneAt = now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.At(0.05, func() { p.Links[0].Degrade(0.25) })
+	p.Eng.Run()
+	if doneAt <= 0 {
+		t.Fatal("transfer never completed on a degraded link")
+	}
+	if tr.Recoveries != 0 || tr.Retransmitted != 0 {
+		t.Fatalf("degradation should not trigger retransmission (recoveries=%d, retx=%g)",
+			tr.Recoveries, tr.Retransmitted)
+	}
+	if got := tr.Transferred(); math.Abs(got-size)/size > 1e-6 {
+		t.Fatalf("delivered %g, want %g", got, size)
+	}
+}
+
+func TestRecoveryDeterministic(t *testing.T) {
+	run := func() (sim.Time, int, float64) {
+		p := testbed.NewMotivatingPair()
+		var doneAt sim.Time
+		tr, err := Start(p.Links, p.A, DefaultConfig(), recoveryParams(),
+			pipe.Zero{}, pipe.Null{}, 10*float64(units.GB), func(now sim.Time) { doneAt = now })
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Eng.At(0.2, func() { p.Links[2].Fail() })
+		p.Eng.At(0.45, func() { p.Links[2].Restore() })
+		p.Eng.At(0.6, func() { p.Links[2].InjectErrorBurst() })
+		p.Eng.Run()
+		return doneAt, tr.Recoveries, tr.Retransmitted
+	}
+	d1, r1, x1 := run()
+	d2, r2, x2 := run()
+	if d1 != d2 || r1 != r2 || x1 != x2 {
+		t.Fatalf("non-deterministic recovery: (%v,%d,%g) vs (%v,%d,%g)", d1, r1, x1, d2, r2, x2)
+	}
+	if r1 < 2 {
+		t.Fatalf("expected recoveries from both the flap and the error burst, got %d", r1)
 	}
 }

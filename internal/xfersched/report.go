@@ -11,26 +11,33 @@ import (
 
 // TenantStats aggregates one tenant's outcomes.
 type TenantStats struct {
-	Name      string
-	Weight    float64
-	Jobs      int
-	Done      int
-	Lost      int
-	Retries   int
-	Bytes     float64 // delivered bytes of finished jobs
-	MeanWait  float64 // seconds
-	Goodput   float64 // delivered bytes / summed service time
-	Slowdown  float64 // mean elapsed/ideal over finished jobs
-	Deadlines int     // missed deadlines
+	Name       string
+	Weight     float64
+	Jobs       int
+	Done       int
+	Lost       int
+	Retries    int
+	Recoveries int     // in-protocol stream recoveries (no requeue)
+	Bytes      float64 // delivered bytes of finished jobs
+	MeanWait   float64 // seconds
+	Goodput    float64 // delivered bytes / summed service time
+	Slowdown   float64 // mean elapsed/ideal over finished jobs
+	Deadlines  int     // missed deadlines
 }
 
 // Report is the scheduler's end-of-run accounting.
 type Report struct {
 	Submitted, Completed, Lost int
 	TotalRetries               int
-	MaxQueueLen                int
-	MeanWait, P99Wait          float64 // seconds
-	MeanSlowdown               float64
+	// TotalRecoveries counts in-protocol stream recoveries across all
+	// jobs — faults the transfer layer absorbed without a scheduler
+	// requeue. TotalRetransmitted is the payload volume those recoveries
+	// re-sent.
+	TotalRecoveries    int
+	TotalRetransmitted float64
+	MaxQueueLen        int
+	MeanWait, P99Wait  float64 // seconds
+	MeanSlowdown       float64
 	// AggregateGoodput is delivered bytes over the makespan (first submit
 	// to last finish), the service's end-to-end rate.
 	AggregateGoodput float64
@@ -63,7 +70,10 @@ func (s *Scheduler) Report() Report {
 		ts := byTenant[j.Spec.Tenant]
 		ts.Jobs++
 		ts.Retries += j.Retries
+		ts.Recoveries += j.Recoveries()
 		r.TotalRetries += j.Retries
+		r.TotalRecoveries += j.Recoveries()
+		r.TotalRetransmitted += j.Retransmitted()
 		if j.Submitted < firstSubmit {
 			firstSubmit = j.Submitted
 		}
@@ -131,7 +141,7 @@ func (r Report) TenantTable() *metrics.Table {
 	t := &metrics.Table{
 		Title: "Per-tenant outcomes",
 		Headers: []string{"tenant", "weight", "jobs", "done", "lost", "retries",
-			"mean wait", "goodput", "slowdown", "missed ddl"},
+			"recov", "mean wait", "goodput", "slowdown", "missed ddl"},
 	}
 	for _, ts := range r.Tenants {
 		t.AddRow(
@@ -141,6 +151,7 @@ func (r Report) TenantTable() *metrics.Table {
 			fmt.Sprintf("%d", ts.Done),
 			fmt.Sprintf("%d", ts.Lost),
 			fmt.Sprintf("%d", ts.Retries),
+			fmt.Sprintf("%d", ts.Recoveries),
 			fmt.Sprintf("%.2fs", ts.MeanWait),
 			units.FormatRate(ts.Goodput),
 			fmt.Sprintf("%.2f", ts.Slowdown),
@@ -155,7 +166,7 @@ func (s *Scheduler) JobTable() *metrics.Table {
 	t := &metrics.Table{
 		Title: "Per-job outcomes",
 		Headers: []string{"job", "tenant", "proto", "size", "prio", "state",
-			"wait", "elapsed", "goodput", "retries"},
+			"wait", "elapsed", "goodput", "retries", "recov"},
 	}
 	for _, j := range s.jobs {
 		elapsed, goodput := "-", "-"
@@ -177,6 +188,7 @@ func (s *Scheduler) JobTable() *metrics.Table {
 			elapsed,
 			goodput,
 			fmt.Sprintf("%d", j.Retries),
+			fmt.Sprintf("%d", j.Recoveries()),
 		)
 	}
 	return t
@@ -186,7 +198,7 @@ func (s *Scheduler) JobTable() *metrics.Table {
 func (r Report) SummaryTable() *metrics.Table {
 	t := &metrics.Table{
 		Title: "Schedule summary",
-		Headers: []string{"jobs", "done", "lost", "retries", "max queue",
+		Headers: []string{"jobs", "done", "lost", "retries", "recov", "max queue",
 			"mean wait", "p99 wait", "slowdown", "goodput", "makespan"},
 	}
 	t.AddRow(
@@ -194,6 +206,7 @@ func (r Report) SummaryTable() *metrics.Table {
 		fmt.Sprintf("%d", r.Completed),
 		fmt.Sprintf("%d", r.Lost),
 		fmt.Sprintf("%d", r.TotalRetries),
+		fmt.Sprintf("%d", r.TotalRecoveries),
 		fmt.Sprintf("%d", r.MaxQueueLen),
 		fmt.Sprintf("%.2fs", r.MeanWait),
 		fmt.Sprintf("%.2fs", r.P99Wait),

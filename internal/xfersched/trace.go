@@ -3,6 +3,8 @@ package xfersched
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"e2edt/internal/core"
 	"e2edt/internal/sim"
@@ -132,6 +134,94 @@ func GenerateTrace(tc TraceConfig) []TimedJob {
 		})
 	}
 	return out
+}
+
+// FormatTrace renders a trace in the plain-text job-trace format, one line
+// per entry:
+//
+//	<at> <id> <tenant> <proto> <dir> <bytes> <files> <prio> [deadline]
+//
+// at and deadline are seconds (deadline omitted when zero), proto is
+// rftp|gridftp, dir is fwd|rev. ParseTrace reads the same format back;
+// '#' starts a comment and blank lines are skipped.
+func FormatTrace(trace []TimedJob) string {
+	var b strings.Builder
+	b.WriteString("# at id tenant proto dir bytes files prio [deadline]\n")
+	for _, tj := range trace {
+		dir := "fwd"
+		if tj.Spec.Dir == core.Reverse {
+			dir = "rev"
+		}
+		fmt.Fprintf(&b, "%g %s %s %s %s %d %d %d",
+			float64(tj.At), tj.Spec.ID, tj.Spec.Tenant, tj.Spec.Protocol.String(),
+			dir, tj.Spec.Bytes, tj.Spec.Files, tj.Spec.Priority)
+		if tj.Spec.Deadline > 0 {
+			fmt.Fprintf(&b, " %g", float64(tj.Spec.Deadline))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseTrace reads the job-trace format produced by FormatTrace. It
+// validates each line strictly: every parse error names the offending
+// line, and the returned trace round-trips through FormatTrace unchanged.
+func ParseTrace(text string) ([]TimedJob, error) {
+	var out []TimedJob
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		if len(f) != 8 && len(f) != 9 {
+			return nil, fmt.Errorf("trace line %d: want 8 or 9 fields, got %d", ln+1, len(f))
+		}
+		at, err := strconv.ParseFloat(f[0], 64)
+		if err != nil || at < 0 || at != at || at > 1e18 {
+			return nil, fmt.Errorf("trace line %d: bad submission time %q", ln+1, f[0])
+		}
+		spec := JobSpec{ID: f[1], Tenant: f[2]}
+		switch f[3] {
+		case "rftp":
+			spec.Protocol = ProtoRFTP
+		case "gridftp":
+			spec.Protocol = ProtoGridFTP
+		default:
+			return nil, fmt.Errorf("trace line %d: bad protocol %q", ln+1, f[3])
+		}
+		switch f[4] {
+		case "fwd":
+			spec.Dir = core.Forward
+		case "rev":
+			spec.Dir = core.Reverse
+		default:
+			return nil, fmt.Errorf("trace line %d: bad direction %q", ln+1, f[4])
+		}
+		spec.Bytes, err = strconv.ParseInt(f[5], 10, 64)
+		if err != nil || spec.Bytes <= 0 {
+			return nil, fmt.Errorf("trace line %d: bad byte count %q", ln+1, f[5])
+		}
+		spec.Files, err = strconv.Atoi(f[6])
+		if err != nil || spec.Files < 0 {
+			return nil, fmt.Errorf("trace line %d: bad file count %q", ln+1, f[6])
+		}
+		spec.Priority, err = strconv.Atoi(f[7])
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: bad priority %q", ln+1, f[7])
+		}
+		if len(f) == 9 {
+			d, err := strconv.ParseFloat(f[8], 64)
+			if err != nil || d <= 0 || d != d || d > 1e18 {
+				return nil, fmt.Errorf("trace line %d: bad deadline %q", ln+1, f[8])
+			}
+			spec.Deadline = sim.Duration(d)
+		}
+		out = append(out, TimedJob{At: sim.Time(at), Spec: spec})
+	}
+	return out, nil
 }
 
 // SubmitTrace schedules every trace entry for future submission. Call

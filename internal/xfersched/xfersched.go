@@ -42,6 +42,7 @@ import (
 
 	"e2edt/internal/core"
 	"e2edt/internal/fabric"
+	"e2edt/internal/faults"
 	"e2edt/internal/fsim"
 	"e2edt/internal/gridftp"
 	"e2edt/internal/metrics"
@@ -140,7 +141,12 @@ type Job struct {
 	attempt  int     // monotonically counts transfer starts
 	reserved float64 // admission bandwidth held
 	handle   handle
+	rt       *rftp.Transfer // concrete RFTP handle (recovery stats, OnFailure)
 	src, dst *fsim.File
+
+	recoveries    int     // in-protocol stream recoveries, folded attempts
+	retransmitted float64 // bytes scheduled for retransmission, folded attempts
+	stallBudget   sim.Duration
 
 	lastProgress   float64
 	lastProgressAt sim.Time
@@ -149,6 +155,26 @@ type Job struct {
 
 // Moved returns bytes delivered so far across all attempts.
 func (j *Job) Moved() float64 { return j.moved }
+
+// Recoveries returns the job's in-protocol stream recoveries across all
+// attempts — repairs RFTP made itself, without the scheduler requeueing.
+func (j *Job) Recoveries() int {
+	n := j.recoveries
+	if j.rt != nil {
+		n += j.rt.Recoveries
+	}
+	return n
+}
+
+// Retransmitted returns the payload bytes the job's transfers scheduled
+// for retransmission after declared losses.
+func (j *Job) Retransmitted() float64 {
+	b := j.retransmitted
+	if j.rt != nil {
+		b += j.rt.Retransmitted
+	}
+	return b
+}
 
 // Wait returns the admission wait (zero until first start).
 func (j *Job) Wait() sim.Duration {
@@ -219,6 +245,55 @@ func DefaultConfig() Config {
 		RetryMax:      8 * sim.Second,
 		MaxAttempts:   12,
 	}
+}
+
+// WithRecovery copies the system's in-protocol recovery knobs into the
+// scheduler's RFTP parameters, making the transfer layer the first line of
+// defense: a faulted stream detects the loss within AckTimeout (well below
+// StallAfter) and re-establishes itself, so the watchdog never sees the
+// job stall. The watchdog stays armed as the second line — a job whose
+// recovery is itself wedged is stalled and requeued once its recovery
+// budget (plus StallAfter) has elapsed without progress, and a transfer
+// that exhausts MaxStreamRetries reports failure immediately through
+// OnFailure rather than waiting out the watchdog. iSCSI session replay on
+// the SANs is configured separately, via core.Options.Recovery.
+func (c Config) WithRecovery(r core.RecoveryOptions) Config {
+	if !r.Enabled {
+		return c
+	}
+	c.RFTPParams = r.ApplyRFTP(c.RFTPParams)
+	return c
+}
+
+// recoveryBudget bounds how long an RFTP transfer with in-protocol
+// recovery may legitimately show zero delivered-byte progress: the loss
+// detection window plus every backoff it is allowed to wait out. The
+// watchdog only declares such a job stalled beyond this horizon.
+func recoveryBudget(p rftp.Params) sim.Duration {
+	if p.AckTimeout <= 0 {
+		return 0
+	}
+	b := p.RetryBackoff
+	if b <= 0 {
+		b = 100 * sim.Millisecond
+	}
+	max := p.RetryBackoffMax
+	if max <= 0 {
+		max = 5 * sim.Second
+	}
+	n := p.MaxStreamRetries
+	if n <= 0 {
+		n = 16
+	}
+	d := p.AckTimeout
+	for i := 0; i < n; i++ {
+		if b > max {
+			b = max
+		}
+		d += b
+		b *= 2
+	}
+	return d
 }
 
 // Validate reports config errors.
@@ -354,6 +429,13 @@ func (s *Scheduler) FailLink(l *fabric.Link, at sim.Time, dur sim.Duration) {
 	s.eng.At(at, l.Fail)
 	s.eng.At(at+sim.Time(dur), l.Restore)
 }
+
+// ApplyFaults schedules a fault-injection plan (flaps, degradation, error
+// bursts — see internal/faults) against the scheduler's engine. With
+// recovery enabled (WithRecovery + core.Options.Recovery) the transfers
+// absorb the faults in-protocol; without it, the watchdog requeues the
+// jobs the plan knocks over.
+func (s *Scheduler) ApplyFaults(p *faults.Plan) { p.Apply(s.eng) }
 
 // Jobs returns every submitted job in submission order.
 func (s *Scheduler) Jobs() []*Job { return s.jobs }
@@ -566,13 +648,32 @@ func (s *Scheduler) startAttempt(j *Job, streams int, now sim.Time) {
 		h   handle
 		err error
 	)
+	j.stallBudget = s.Cfg.StallAfter
 	switch j.Spec.Protocol {
 	case ProtoRFTP:
 		cfg := s.Cfg.RFTP
 		cfg.Streams = streams
-		p := s.Cfg.RFTPParams
+		p := s.Sys.Opt.Recovery.ApplyRFTP(s.Cfg.RFTPParams)
 		p.StartOffset = int64(j.moved)
-		h, err = s.Sys.StartRFTPOn(j.Spec.Dir, cfg, p, j.src, j.dst, float64(j.Spec.Bytes), onDone)
+		var rt *rftp.Transfer
+		rt, err = s.Sys.StartRFTPOn(j.Spec.Dir, cfg, p, j.src, j.dst, float64(j.Spec.Bytes), onDone)
+		if err == nil {
+			// In-protocol recovery is the first line of defense: give the
+			// transfer its whole retry budget before the watchdog may call
+			// the job stalled, and take exhaustion reports directly instead
+			// of waiting the budget out.
+			j.stallBudget += recoveryBudget(p)
+			rt.OnFailure = func(t sim.Time) {
+				if j.attempt != attempt || j.State != StateRunning {
+					return
+				}
+				s.eng.Tracef("xfersched", "recovery exhausted on %s, requeueing", j.Spec.ID)
+				s.stall(j, t)
+				s.schedule(t)
+			}
+			j.rt = rt
+			h = rt
+		}
 	case ProtoGridFTP:
 		h, err = s.Sys.StartGridFTPOn(j.Spec.Dir, s.Cfg.GridFTP, j.src, j.dst, remaining, onDone)
 	default:
@@ -592,6 +693,7 @@ func (s *Scheduler) restart(j *Job, streams int, now sim.Time) {
 	j.moved += j.handle.Transferred()
 	j.handle.Stop()
 	j.handle = nil
+	j.foldAttempt()
 	s.eng.Tracef("xfersched", "rebalance %s to %d streams (moved=%g)",
 		j.Spec.ID, streams, j.moved)
 	s.startAttempt(j, streams, now)
@@ -611,7 +713,11 @@ func (s *Scheduler) check(now sim.Time) {
 			j.lastProgressAt = now
 			continue
 		}
-		if sim.Duration(now-j.lastProgressAt) >= s.Cfg.StallAfter {
+		budget := s.Cfg.StallAfter
+		if j.stallBudget > budget {
+			budget = j.stallBudget
+		}
+		if sim.Duration(now-j.lastProgressAt) >= budget {
 			s.stall(j, now)
 			stalled = true
 		}
@@ -629,6 +735,7 @@ func (s *Scheduler) stall(j *Job, now sim.Time) {
 	j.moved += j.handle.Transferred()
 	j.handle.Stop()
 	j.handle = nil
+	j.foldAttempt()
 	j.Retries++
 	s.release(j)
 	s.removeRunning(j)
@@ -675,6 +782,7 @@ func (s *Scheduler) requeue(j *Job, now sim.Time) {
 func (s *Scheduler) complete(j *Job, now sim.Time) {
 	j.moved = float64(j.Spec.Bytes)
 	j.handle = nil
+	j.foldAttempt()
 	s.release(j)
 	s.removeRunning(j)
 	s.finish(j, now)
@@ -699,6 +807,17 @@ func (s *Scheduler) finish(j *Job, now sim.Time) {
 	}
 	s.eng.Tracef("xfersched", "done %s wait=%gs elapsed=%gs retries=%d",
 		j.Spec.ID, float64(j.Wait()), float64(now-j.Submitted), j.Retries)
+}
+
+// foldAttempt folds a finished attempt's recovery stats into the job and
+// drops the concrete transfer handle.
+func (j *Job) foldAttempt() {
+	if j.rt == nil {
+		return
+	}
+	j.recoveries += j.rt.Recoveries
+	j.retransmitted += j.rt.Retransmitted
+	j.rt = nil
 }
 
 // release returns a job's admission reservation.
