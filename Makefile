@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench
+.PHONY: build test race vet fmt verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -23,4 +23,9 @@ fmt:
 verify: fmt vet build race
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/benchreport -out BENCH_PR3.json
+
+# One iteration of every benchmark in the tree — a fast compile-and-run
+# smoke check that keeps benchmarks from bit-rotting (CI runs this).
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

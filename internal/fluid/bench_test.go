@@ -40,6 +40,45 @@ func BenchmarkSolve64Flows(b *testing.B) {
 	}
 }
 
+// benchChurnSim builds a Sim carrying nFlows concurrent open-ended
+// transfers across a 64-resource mesh, the topology shape of the scaling
+// benchmarks in cmd/benchreport.
+func benchChurnSim(nFlows int) (*sim.Engine, *Sim, []*Flow) {
+	eng := sim.NewEngine()
+	s := NewSim(eng)
+	resources := make([]*Resource, 64)
+	for i := range resources {
+		resources[i] = s.AddResource("r", 1e9+float64(i))
+	}
+	flows := make([]*Flow, nFlows)
+	for i := range flows {
+		f := s.NewFlow("f", 2e9)
+		for j := 0; j < 8; j++ {
+			f.Use(resources[(i*13+j*17)%len(resources)], 0.2+float64(j)*0.1)
+		}
+		flows[i] = f
+		s.Start(&Transfer{Flow: f, Remaining: math.Inf(1)})
+	}
+	return eng, s, flows
+}
+
+// BenchmarkDemandChurn1kFlows measures one credit-loop style demand update
+// against 1000 concurrent flows — the Sim.reschedule hot path the
+// incremental solver optimizes.
+func BenchmarkDemandChurn1kFlows(b *testing.B) {
+	_, s, flows := benchChurnSim(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := flows[i%len(flows)]
+		if i%2 == 0 {
+			s.SetDemand(f, 3e9)
+		} else {
+			s.SetDemand(f, 2e9)
+		}
+	}
+}
+
 func BenchmarkTransferChurn(b *testing.B) {
 	// Start/complete cycles exercise the event-integration hot path.
 	eng := sim.NewEngine()

@@ -87,14 +87,54 @@ func (f *Flow) UseTagged(r *Resource, coeff float64, tag string) *Flow {
 	return f
 }
 
+// LegacyFullSolve, when set before NewNetwork, makes Resolve behave like
+// the pre-incremental solver: every call runs a from-scratch Solve with
+// freshly allocated scratch state. It exists so the benchmark harness
+// (cmd/benchreport) and the solver-equivalence tests can compare the
+// optimized and unoptimized paths within one binary. Production code never
+// sets it.
+var LegacyFullSolve bool
+
+// SolverStats counts how Resolve calls were satisfied.
+type SolverStats struct {
+	// FullSolves is the number of complete progressive-filling runs.
+	FullSolves uint64
+	// FastResolves counts single-flow demand updates absorbed without a
+	// solve because the demand cap was non-binding before and after.
+	FastResolves uint64
+	// Skips counts Resolve calls where nothing had changed since the last
+	// Solve.
+	Skips uint64
+}
+
 // Network is a set of resources and the flows crossing them.
 type Network struct {
 	resources []*Resource
 	flows     []*Flow
+
+	// residual and sumW are solver scratch, reused across Solve calls so
+	// the hot path does not allocate.
+	residual []float64
+	sumW     []float64
+
+	// Snapshot of every solver input at the last Solve. Resolve diffs the
+	// live state against it to decide whether a re-solve is needed, which
+	// also catches direct writes to Flow.Demand/Weight and
+	// Resource.Capacity that bypass the Sim setters.
+	solved     bool
+	snapFlows  []*Flow
+	snapDemand []float64
+	snapWeight []float64
+	snapUses   []int // len(Flow.Uses); catches Use() after a solve
+	snapRes    []*Resource
+	snapCap    []float64
+
+	stats  SolverStats
+	legacy bool
 }
 
 // NewNetwork returns an empty network.
-func NewNetwork() *Network { return &Network{} }
+func NewNetwork() *Network { return &Network{legacy: LegacyFullSolve} }
 
 // AddResource creates and registers a resource. Capacity must be
 // non-negative; zero capacity models a disabled component.
@@ -146,9 +186,23 @@ const eps = 1e-12
 // it. Freezing a flow subtracts its contributions once, so each iteration
 // costs O(resources + flows) rather than O(resources × flows × uses).
 func (n *Network) Solve() {
+	n.stats.FullSolves++
 	nr := len(n.resources)
-	residual := make([]float64, nr)
-	sumW := make([]float64, nr)
+	var residual, sumW []float64
+	if n.legacy {
+		residual = make([]float64, nr)
+		sumW = make([]float64, nr)
+	} else {
+		if cap(n.residual) < nr {
+			n.residual = make([]float64, nr)
+			n.sumW = make([]float64, nr)
+		}
+		residual = n.residual[:nr]
+		sumW = n.sumW[:nr]
+		for i := range sumW {
+			sumW[i] = 0
+		}
+	}
 	for i, r := range n.resources {
 		r.load = 0
 		residual[i] = r.Capacity
@@ -279,4 +333,102 @@ func (n *Network) Solve() {
 			u.Resource.load += u.Coeff * f.rate
 		}
 	}
+	n.snapshot()
+}
+
+// snapshot records the solver inputs the allocation was computed from.
+func (n *Network) snapshot() {
+	n.snapFlows = append(n.snapFlows[:0], n.flows...)
+	n.snapRes = append(n.snapRes[:0], n.resources...)
+	if cap(n.snapDemand) < len(n.flows) {
+		n.snapDemand = make([]float64, len(n.flows))
+		n.snapWeight = make([]float64, len(n.flows))
+		n.snapUses = make([]int, len(n.flows))
+	}
+	n.snapDemand = n.snapDemand[:len(n.flows)]
+	n.snapWeight = n.snapWeight[:len(n.flows)]
+	n.snapUses = n.snapUses[:len(n.flows)]
+	for i, f := range n.flows {
+		n.snapDemand[i] = f.Demand
+		n.snapWeight[i] = f.Weight
+		n.snapUses[i] = len(f.Uses)
+	}
+	if cap(n.snapCap) < len(n.resources) {
+		n.snapCap = make([]float64, len(n.resources))
+	}
+	n.snapCap = n.snapCap[:len(n.resources)]
+	for i, r := range n.resources {
+		n.snapCap[i] = r.Capacity
+	}
+	n.solved = true
+}
+
+// Invalidate forces the next Resolve to run a full Solve. Needed only
+// after mutations the dirty scan cannot see: editing a Usage coefficient
+// in place, or swapping a Usage's Resource.
+func (n *Network) Invalidate() { n.solved = false }
+
+// Stats returns counters describing how Resolve calls were satisfied.
+func (n *Network) Stats() SolverStats { return n.stats }
+
+// changedFlow locates what differs from the last-solved snapshot. ok
+// reports whether the only difference is a single flow's demand (idx into
+// n.flows); any reports whether anything differs at all.
+func (n *Network) changedFlow() (idx int, ok, any bool) {
+	if len(n.resources) != len(n.snapRes) || len(n.flows) != len(n.snapFlows) {
+		return 0, false, true
+	}
+	for i, r := range n.resources {
+		if r != n.snapRes[i] || r.Capacity != n.snapCap[i] {
+			return 0, false, true
+		}
+	}
+	idx = -1
+	for i, f := range n.flows {
+		if f != n.snapFlows[i] || f.Weight != n.snapWeight[i] || len(f.Uses) != n.snapUses[i] {
+			return 0, false, true
+		}
+		if f.Demand != n.snapDemand[i] {
+			if idx >= 0 {
+				return 0, false, true // more than one demand changed
+			}
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, false, false
+	}
+	return idx, true, true
+}
+
+// Resolve re-solves only if the flow population, demands, weights, uses or
+// capacities changed since the last Solve, and absorbs a single-flow
+// demand change without solving when the cap is non-binding before and
+// after (the solved rate sits strictly below both, so the max-min
+// allocation is unchanged). It reports whether a full Solve ran.
+func (n *Network) Resolve() bool {
+	if n.legacy || !n.solved {
+		n.Solve()
+		return true
+	}
+	idx, one, any := n.changedFlow()
+	if !any {
+		n.stats.Skips++
+		return false
+	}
+	if one {
+		f := n.flows[idx]
+		old := n.snapDemand[idx]
+		// Margin keeps the fast path well clear of the solver's freeze
+		// tolerance, so a from-scratch Solve would take the exact same
+		// branches and reproduce the current rates bit for bit.
+		margin := 1e-6 * math.Max(1, f.rate)
+		if math.Min(old, f.Demand) > f.rate+margin {
+			n.snapDemand[idx] = f.Demand
+			n.stats.FastResolves++
+			return false
+		}
+	}
+	n.Solve()
+	return true
 }

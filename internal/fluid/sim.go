@@ -255,10 +255,11 @@ func (s *Sim) ResetUsage() {
 // ActiveTransfers returns the number of in-flight transfers.
 func (s *Sim) ActiveTransfers() int { return len(s.active) }
 
-// reschedule re-solves rates and schedules the next completion event.
-// Callers must Sync first.
+// reschedule re-solves rates (when something actually changed — see
+// Network.Resolve) and schedules the next completion event. Callers must
+// Sync first.
 func (s *Sim) reschedule() {
-	s.Network.Solve()
+	s.Network.Resolve()
 	if s.completion != nil {
 		s.Engine.Cancel(s.completion)
 		s.completion = nil

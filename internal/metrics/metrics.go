@@ -40,8 +40,12 @@ func (s *Series) Mean() float64 {
 	return sum / float64(len(s.Values))
 }
 
-// Min returns the smallest value, +Inf for an empty series.
+// Min returns the smallest value, 0 for an empty series (matching
+// Histogram.Min, and keeping ±Inf out of formatted report tables).
 func (s *Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
 	min := math.Inf(1)
 	for _, v := range s.Values {
 		if v < min {
@@ -51,8 +55,12 @@ func (s *Series) Min() float64 {
 	return min
 }
 
-// Max returns the largest value, -Inf for an empty series.
+// Max returns the largest value, 0 for an empty series (matching
+// Histogram.Max).
 func (s *Series) Max() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
 	max := math.Inf(-1)
 	for _, v := range s.Values {
 		if v > max {
@@ -92,10 +100,13 @@ func (s *Series) TailMean(fraction float64) float64 {
 // change (units/second).
 type Sampler struct {
 	Series   Series
+	eng      *sim.Engine
 	counter  func() float64
 	last     float64
+	lastTick sim.Time
 	interval sim.Duration
 	ticker   *sim.Ticker
+	stopped  bool
 }
 
 // NewSampler starts sampling counter every interval on eng. The counter
@@ -104,20 +115,40 @@ type Sampler struct {
 func NewSampler(eng *sim.Engine, name string, interval sim.Duration, counter func() float64) *Sampler {
 	s := &Sampler{
 		Series:   Series{Name: name},
+		eng:      eng,
 		counter:  counter,
 		interval: interval,
 	}
 	s.last = counter()
+	s.lastTick = eng.Now()
 	s.ticker = eng.NewTicker(interval, func(now sim.Time) {
 		cur := s.counter()
 		s.Series.Add(float64(now), (cur-s.last)/float64(interval))
 		s.last = cur
+		s.lastTick = now
 	})
 	return s
 }
 
-// Stop halts sampling.
-func (s *Sampler) Stop() { s.ticker.Stop() }
+// Stop halts sampling. A run that ends between ticks still owns the units
+// moved since the last tick: Stop flushes them as a final partial-interval
+// sample whose rate is scaled by the actually elapsed fraction, so tail
+// throughput is not dropped from the recorded curve.
+func (s *Sampler) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.ticker.Stop()
+	elapsed := float64(s.eng.Now() - s.lastTick)
+	if elapsed <= 0 {
+		return
+	}
+	cur := s.counter()
+	s.Series.Add(float64(s.eng.Now()), (cur-s.last)/elapsed)
+	s.last = cur
+	s.lastTick = s.eng.Now()
+}
 
 // Table renders paper-style aligned rows.
 type Table struct {

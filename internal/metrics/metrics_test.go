@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -32,14 +33,31 @@ func TestEmptySeries(t *testing.T) {
 	if s.Mean() != 0 {
 		t.Fatal("empty mean should be 0")
 	}
-	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
-		t.Fatal("empty min/max should be ±Inf")
+	if s.Min() != 0 || s.Max() != 0 {
+		// Matching Histogram.Min/Max: 0, never ±Inf, so report tables
+		// built from empty series stay printable.
+		t.Fatalf("empty min/max = %v/%v, want 0/0", s.Min(), s.Max())
 	}
 	if s.Stddev() != 0 {
 		t.Fatal("empty stddev should be 0")
 	}
 	if s.TailMean(0.5) != 0 {
 		t.Fatal("empty tail mean should be 0")
+	}
+}
+
+// TestEmptySeriesTableHasNoInf: an empty series summarized into a report
+// table (the experiments Series index format) must not leak Inf cells.
+func TestEmptySeriesTableHasNoInf(t *testing.T) {
+	s := Series{Name: "tput"}
+	tb := Table{Headers: []string{"series", "n", "mean", "min", "max"}}
+	tb.AddRow(s.Name, fmt.Sprintf("%d", s.Len()),
+		fmt.Sprintf("%.3f", s.Mean()), fmt.Sprintf("%.3f", s.Min()),
+		fmt.Sprintf("%.3f", s.Max()))
+	for _, out := range []string{tb.String(), tb.Markdown()} {
+		if strings.Contains(out, "Inf") || strings.Contains(out, "inf") {
+			t.Fatalf("Inf leaked into formatted table:\n%s", out)
+		}
 	}
 }
 
@@ -85,6 +103,64 @@ func TestSamplerRates(t *testing.T) {
 	}
 	if math.Abs(sum-1000) > 10+1e-9 {
 		t.Fatalf("integrated volume = %v, want ≈1000", sum)
+	}
+}
+
+// TestSamplerFlushesFinalPartialInterval: a run ending between ticker
+// fires used to drop every byte moved after the last fire, under-reporting
+// tail throughput. Stop now records the partial interval with the rate
+// scaled by the actually elapsed fraction.
+func TestSamplerFlushesFinalPartialInterval(t *testing.T) {
+	eng := sim.NewEngine()
+	bytes := 0.0
+	eng.NewTicker(0.1, func(sim.Time) { bytes += 10 }) // 100 units/s
+	s := NewSampler(eng, "tput", 1, func() float64 { return bytes })
+	// Stop mid-interval: 3 full intervals plus 0.5s of tail.
+	eng.RunUntil(3.5)
+	s.Stop()
+	if got := s.Series.Len(); got != 4 {
+		t.Fatalf("samples = %d, want 3 full + 1 partial", got)
+	}
+	lastT := s.Series.Times[3]
+	lastV := s.Series.Values[3]
+	if lastT != 3.5 {
+		t.Fatalf("final sample at t=%v, want 3.5", lastT)
+	}
+	// 50 units moved over the final 0.5s → still 100 units/s, not the 50
+	// units/s that interval-scaled accounting would report.
+	if math.Abs(lastV-100) > 10+1e-9 {
+		t.Fatalf("final partial-interval rate = %v, want ≈100", lastV)
+	}
+	// Integrated volume must cover every byte moved, including the tail.
+	sum := 0.0
+	for i, v := range s.Series.Values {
+		dt := 1.0
+		if i == 3 {
+			dt = 0.5
+		}
+		sum += v * dt
+	}
+	if math.Abs(sum-bytes) > 10+1e-9 {
+		t.Fatalf("integrated volume = %v, want %v (no tail drop)", sum, bytes)
+	}
+	// Stop is idempotent: no double flush.
+	s.Stop()
+	if s.Series.Len() != 4 {
+		t.Fatal("second Stop added a sample")
+	}
+}
+
+// TestSamplerStopOnTickBoundaryAddsNothing: stopping exactly on a tick
+// leaves no partial interval to flush.
+func TestSamplerStopOnTickBoundaryAddsNothing(t *testing.T) {
+	eng := sim.NewEngine()
+	v := 0.0
+	eng.NewTicker(0.25, func(sim.Time) { v += 1 })
+	s := NewSampler(eng, "x", 1, func() float64 { return v })
+	eng.RunUntil(3)
+	s.Stop()
+	if s.Series.Len() != 3 {
+		t.Fatalf("samples = %d, want 3 (no zero-length flush)", s.Series.Len())
 	}
 }
 

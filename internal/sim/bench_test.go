@@ -23,3 +23,21 @@ func BenchmarkHeapChurn1k(b *testing.B) {
 		e.Step()
 	}
 }
+
+// BenchmarkScheduleCancelChurn is the watchdog-reset pattern: a pending
+// event is cancelled and replaced on every op. The event free-list and
+// lazy-cancel compaction make this allocation-free at steady state.
+func BenchmarkScheduleCancelChurn(b *testing.B) {
+	e := NewEngine()
+	evs := make([]*Event, 1000)
+	for i := range evs {
+		evs[i] = e.Schedule(Duration(i+1), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % len(evs)
+		e.Cancel(evs[slot])
+		evs[slot] = e.Schedule(Duration(2000+i), func() {})
+	}
+}

@@ -31,8 +31,22 @@ const (
 	Minute      Duration = 60
 )
 
+// LegacyAlloc, when set before NewEngine, disables event recycling and
+// lazy cancellation: every Schedule allocates a fresh Event and Cancel
+// removes it from the heap eagerly, as the pre-optimization engine did. It
+// exists so the benchmark harness (cmd/benchreport) can measure the
+// allocation behavior of both paths in one binary. Production code never
+// sets it.
+var LegacyAlloc bool
+
 // Event is a scheduled callback. The zero Event is invalid; events are
 // created through Engine.Schedule and Engine.At.
+//
+// Fired and cancelled events are recycled: once an event has fired (or its
+// cancellation has been observed by the engine), the *Event may be reused
+// by a later Schedule. Callers that retain an event pointer must drop it
+// when the event fires and after calling Cancel, and must not Cancel a
+// pointer obtained from an earlier, already-fired scheduling.
 type Event struct {
 	at     Time
 	seq    uint64
@@ -100,11 +114,44 @@ type Engine struct {
 	tracer  Tracer
 	// Processed counts events that have fired, for diagnostics.
 	Processed uint64
+
+	// free holds fired/cancelled events for reuse, so steady-state
+	// Schedule/Cancel churn (credit loops, watchdog resets) does not
+	// allocate. Bounded by the peak number of live events.
+	free []*Event
+	// cancelled counts lazily-cancelled events still occupying queue
+	// slots; Cancel marks instead of removing, and the queue is compacted
+	// once cancelled events dominate it.
+	cancelled int
+	legacy    bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{legacy: LegacyAlloc}
+}
+
+// alloc returns a recycled Event when one is available.
+func (e *Engine) alloc(at Time, fn func()) *Event {
+	e.seq++
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: at, seq: e.seq, fn: fn}
+		return ev
+	}
+	return &Event{at: at, seq: e.seq, fn: fn}
+}
+
+// recycle returns an event the engine is done with to the free list. The
+// fired/cancel flags survive until reuse so stale accessors stay truthful.
+func (e *Engine) recycle(ev *Event) {
+	if e.legacy {
+		return
+	}
+	ev.fn = nil // release the closure and anything it captured
+	e.free = append(e.free, ev)
 }
 
 // Now returns the current virtual time.
@@ -125,8 +172,9 @@ func (e *Engine) Tracef(subsys, format string, args ...any) {
 	e.tracer.Event(e.now, subsys, fmt.Sprintf(format, args...))
 }
 
-// Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still queued (excluding
+// lazily-cancelled ones awaiting compaction).
+func (e *Engine) Pending() int { return len(e.queue) - e.cancelled }
 
 // Schedule queues fn to run after delay. A negative delay is an error in the
 // caller; Schedule panics to surface the bug immediately.
@@ -146,36 +194,80 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc(t, fn)
 	heap.Push(&e.queue, ev)
 	return ev
 }
 
 // Cancel removes ev from the queue if it has not fired. Cancelling an
-// already-fired or already-cancelled event is a no-op.
+// already-fired or already-cancelled event is a no-op. The cancellation is
+// lazy: the event keeps its heap slot until the engine reaches it (or a
+// compaction sweep reclaims it), making Cancel O(1) instead of O(log n).
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.fired || ev.cancel {
 		return
 	}
 	ev.cancel = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
+	if ev.index < 0 {
+		return
 	}
+	if e.legacy {
+		heap.Remove(&e.queue, ev.index)
+		return
+	}
+	e.cancelled++
+	e.maybeCompact()
+}
+
+// maybeCompact rebuilds the heap without cancelled events once they hold
+// the majority of its slots, bounding queue growth under heavy
+// schedule/cancel churn (watchdog resets, credit-loop timers).
+func (e *Engine) maybeCompact() {
+	if e.cancelled <= 64 || e.cancelled*2 <= len(e.queue) {
+		return
+	}
+	kept := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.cancel {
+			ev.index = -1
+			e.recycle(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = kept
+	for i, ev := range e.queue {
+		ev.index = i
+	}
+	heap.Init(&e.queue)
+	e.cancelled = 0
 }
 
 // Step fires the earliest pending event and advances the clock to its time.
-// It reports false when the queue is empty.
+// It reports false when the queue is empty. An event left behind by a
+// stopped RunUntil (see Stop) can be due in the past; the clock never
+// moves backwards — such events fire at the current time.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.cancel {
+			e.cancelled--
+			e.recycle(ev)
 			continue
 		}
-		e.now = ev.at
+		if ev.at > e.now {
+			e.now = ev.at
+		}
 		ev.fired = true
 		e.Processed++
 		ev.fn()
+		// Recycle only after the callback returns: while it runs, the
+		// fired flag keeps a self-Cancel harmless, and no new Schedule
+		// can reuse the struct out from under a holder.
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -189,7 +281,10 @@ func (e *Engine) Run() {
 }
 
 // RunUntil processes events with time ≤ t, then advances the clock to t.
-// Events scheduled exactly at t do fire.
+// Events scheduled exactly at t do fire. The final clock advance happens
+// even when Stop() halted processing mid-run, so a subsequent RunFor(d)
+// always covers [t, t+d] — events bypassed by the Stop stay queued and
+// fire (at the then-current clock) when processing resumes.
 func (e *Engine) RunUntil(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
@@ -203,6 +298,8 @@ func (e *Engine) RunUntil(t Time) {
 		next := e.queue[0]
 		if next.cancel {
 			heap.Pop(&e.queue)
+			e.cancelled--
+			e.recycle(next)
 			continue
 		}
 		if next.at > t {
@@ -210,7 +307,7 @@ func (e *Engine) RunUntil(t Time) {
 		}
 		e.Step()
 	}
-	if !e.stopped && t > e.now {
+	if t > e.now {
 		e.now = t
 	}
 }
@@ -220,7 +317,9 @@ func (e *Engine) RunFor(d Duration) {
 	e.RunUntil(e.now + Time(d))
 }
 
-// Stop halts Run/RunUntil after the current event returns.
+// Stop halts Run/RunUntil after the current event returns. It stops event
+// processing only: a surrounding RunUntil/RunFor still advances the clock
+// to its target time, so post-stop Now() is never stale.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Sleeper supports periodic activities: it reschedules fn every interval
@@ -245,6 +344,9 @@ func (e *Engine) NewTicker(interval Duration, fn func(Time)) *Ticker {
 
 func (t *Ticker) arm() {
 	t.ev = t.engine.Schedule(t.interval, func() {
+		// Drop the reference first: the fired event will be recycled, and
+		// a later Stop must not cancel whatever reuses it.
+		t.ev = nil
 		if t.stopped {
 			return
 		}
@@ -259,6 +361,7 @@ func (t *Ticker) arm() {
 func (t *Ticker) Stop() {
 	t.stopped = true
 	t.engine.Cancel(t.ev)
+	t.ev = nil
 }
 
 // Timer is a one-shot virtual-time timer that can be cancelled or re-armed,
@@ -284,13 +387,18 @@ func (e *Engine) NewTimer(d Duration, fn func(Time)) *Timer {
 // Reset cancels any pending firing and re-arms the timer for now+d.
 func (t *Timer) Reset(d Duration) {
 	t.engine.Cancel(t.ev)
-	ev := t.engine.Schedule(d, func() { t.fn(t.engine.Now()) })
-	t.ev = ev
+	t.ev = t.engine.Schedule(d, func() {
+		t.ev = nil // the fired event is recycled; never cancel it later
+		t.fn(t.engine.Now())
+	})
 }
 
 // Stop cancels the pending firing, if any. The timer can be re-armed with
 // Reset afterwards.
-func (t *Timer) Stop() { t.engine.Cancel(t.ev) }
+func (t *Timer) Stop() {
+	t.engine.Cancel(t.ev)
+	t.ev = nil
+}
 
 // Active reports whether a firing is pending.
 func (t *Timer) Active() bool {

@@ -159,6 +159,111 @@ func TestStop(t *testing.T) {
 	}
 }
 
+// TestRunUntilAdvancesClockAfterStop: Stop() used to skip RunUntil's final
+// clock advance, so a later RunFor(d) started from a stale Now() and ran
+// short. The clock must reach the target; events bypassed by the Stop stay
+// queued and fire when processing resumes — without moving the clock
+// backwards.
+func TestRunUntilAdvancesClockAfterStop(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(3, func() { e.Stop() })
+	var lateAt Time = -1
+	e.Schedule(5, func() { lateAt = e.Now() })
+	e.RunUntil(10)
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v after stopped RunUntil(10), want 10", e.Now())
+	}
+	if lateAt != -1 {
+		t.Fatal("event beyond the stop point fired during the stopped run")
+	}
+	e.RunFor(5)
+	if e.Now() != 15 {
+		t.Fatalf("Now() = %v after RunFor(5), want 15 (ran short)", e.Now())
+	}
+	// The bypassed event fired on resume, at the then-current clock.
+	if lateAt != 10 {
+		t.Fatalf("bypassed event fired at %v, want 10 (clock never rewinds)", lateAt)
+	}
+}
+
+// TestEventRecycling: fired events are reused by later Schedules instead
+// of allocating, and the reuse preserves scheduling semantics.
+func TestEventRecycling(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(1, func() {})
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/fire churn allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestLazyCancelAccounting: cancelled events no longer fire, Pending
+// excludes them, and heavy cancel churn compacts the queue.
+func TestLazyCancelAccounting(t *testing.T) {
+	e := NewEngine()
+	keep := 0
+	e.Schedule(1000, func() { keep++ })
+	for i := 0; i < 500; i++ {
+		ev := e.Schedule(Duration(i+1), func() { t.Error("cancelled event fired") })
+		e.Cancel(ev)
+		if ev.index >= 0 && !ev.cancel {
+			t.Fatal("cancel not recorded")
+		}
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d with one live event, want 1", got)
+	}
+	// Compaction must have bounded the heap well below the 501 slots that
+	// eager retention would use.
+	if len(e.queue) > 130 {
+		t.Fatalf("queue holds %d slots after cancel churn, want compacted", len(e.queue))
+	}
+	e.Run()
+	if keep != 1 {
+		t.Fatalf("live event fired %d times, want 1", keep)
+	}
+}
+
+// TestCancelChurnDoesNotAllocate: steady-state schedule+cancel churn (the
+// watchdog-reset pattern) reuses cancelled events once compaction has
+// recycled them.
+func TestCancelChurnDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	// Prime: build up a recycled pool via compaction.
+	for i := 0; i < 1000; i++ {
+		e.Cancel(e.Schedule(1, func() {}))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Cancel(e.Schedule(1, func() {}))
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/cancel churn allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestLegacyAllocMatchesBehavior: the benchmark baseline knob preserves
+// the engine's observable semantics (it only changes allocation).
+func TestLegacyAllocMatchesBehavior(t *testing.T) {
+	LegacyAlloc = true
+	defer func() { LegacyAlloc = false }()
+	e := NewEngine()
+	var order []Time
+	e.Schedule(2, func() { order = append(order, e.Now()) })
+	ev := e.Schedule(1, func() { t.Error("cancelled event fired") })
+	e.Cancel(ev)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1", got)
+	}
+	e.Run()
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("order = %v, want [2]", order)
+	}
+}
+
 func TestNegativeDelayPanics(t *testing.T) {
 	e := NewEngine()
 	defer func() {
