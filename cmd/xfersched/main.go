@@ -12,6 +12,8 @@
 //	xfersched -fail 5 -failfor 10        # front link 0 dark from t=5s to t=15s
 //	xfersched -chaos 2 -chaosseed 9      # seeded fault schedule, MTBF 2s
 //	xfersched -recover=false             # disable in-protocol recovery
+//	xfersched -rails -kill-rail roce1@5  # rail mgmt on; roce1 dies for good at t=5s
+//	xfersched -corrupt 3 -checksum       # 3 seeded silent bit flips, caught end to end
 //	xfersched -trace jobs.txt            # replay a job trace file
 //	xfersched -concurrent 8 -streams 12  # admission and stream budgets
 //	xfersched -seed 7 -md -v             # reseed, markdown, per-job table
@@ -23,13 +25,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
 	"e2edt/internal/core"
+	"e2edt/internal/fabric"
 	"e2edt/internal/faults"
 	"e2edt/internal/metrics"
+	"e2edt/internal/railmgr"
 	"e2edt/internal/sim"
 	"e2edt/internal/units"
 	"e2edt/internal/xfersched"
@@ -54,6 +59,11 @@ func main() {
 	degrade := flag.Float64("degrade", 0.5, "surviving capacity fraction for chaos degradation windows")
 	horizon := flag.Float64("horizon", 30, "chaos fault-injection horizon in virtual seconds")
 	recover := flag.Bool("recover", true, "enable in-protocol recovery (RDMA/RFTP/iSER); the watchdog stays as second line of defense")
+	rails := flag.Bool("rails", false, "enable rail health management: failover, credit rebalance and failback (requires -recover)")
+	killRail := flag.String("kill-rail", "", "permanently kill a front rail, as name@seconds (e.g. roce1@5); implies -rails")
+	corrupt := flag.Int("corrupt", 0, "inject this many seeded silent bit flips across the front rails")
+	corruptSeed := flag.Int64("corruptseed", 7, "corruption-schedule PRNG seed")
+	checksum := flag.Bool("checksum", false, "enable RFTP end-to-end block checksums (the only layer that catches silent corruption)")
 	traceFile := flag.String("trace", "", "replay a job trace file (see xfersched.ParseTrace) instead of generating one")
 	limit := flag.Float64("limit", 7200, "virtual-time budget in seconds")
 	md := flag.Bool("md", false, "emit tables as markdown")
@@ -78,6 +88,15 @@ func main() {
 	if *recover {
 		opt.Recovery = core.DefaultRecoveryOptions()
 	}
+	if *killRail != "" {
+		*rails = true
+	}
+	if *rails {
+		if !*recover {
+			fatal(fmt.Errorf("-rails and -kill-rail need in-protocol recovery; drop -recover=false"))
+		}
+		opt.Recovery.Rails = railmgr.DefaultPolicy()
+	}
 	sys, err := core.NewSystem(opt)
 	if err != nil {
 		fatal(err)
@@ -85,6 +104,7 @@ func main() {
 	cfg := xfersched.DefaultConfig().WithRecovery(opt.Recovery)
 	cfg.MaxConcurrent = *concurrent
 	cfg.StreamBudget = *streams
+	cfg.RFTP.Checksum = *checksum
 	s, err := xfersched.New(sys, cfg)
 	if err != nil {
 		fatal(err)
@@ -120,6 +140,21 @@ func main() {
 	plan := &faults.Plan{}
 	if *failAt > 0 {
 		plan.FailWindow(sys.TB.FrontLinks[0], sim.Time(*failAt), sim.Duration(*failFor))
+	}
+	if *killRail != "" {
+		link, at, err := parseKillRail(*killRail, sys.TB.FrontLinks)
+		if err != nil {
+			fatal(err)
+		}
+		plan.PermanentFail(link, at)
+	}
+	if *corrupt > 0 {
+		rng := rand.New(rand.NewSource(*corruptSeed))
+		for i := 0; i < *corrupt; i++ {
+			link := sys.TB.FrontLinks[rng.Intn(len(sys.TB.FrontLinks))]
+			at := sim.Time(0.2 + rng.Float64()*2)
+			plan.Corrupt(link, at)
+		}
 	}
 	if *chaos > 0 {
 		chaosPlan := faults.Chaos(faults.ChaosConfig{
@@ -168,6 +203,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xfersched: virtual-time budget %.0fs exhausted with jobs unfinished\n", *limit)
 		os.Exit(1)
 	}
+}
+
+// parseKillRail reads "name@seconds" (e.g. "roce1@5") and resolves the
+// named link among the front rails.
+func parseKillRail(s string, links []*fabric.Link) (*fabric.Link, sim.Time, error) {
+	name, atStr, found := strings.Cut(s, "@")
+	if !found {
+		return nil, 0, fmt.Errorf("bad -kill-rail %q: want name@seconds, e.g. roce1@5", s)
+	}
+	at, err := strconv.ParseFloat(atStr, 64)
+	if err != nil || at <= 0 {
+		return nil, 0, fmt.Errorf("bad -kill-rail time %q: want a positive virtual second", atStr)
+	}
+	var names []string
+	for _, l := range links {
+		if l.Cfg.Name == name {
+			return l, sim.Time(at), nil
+		}
+		names = append(names, l.Cfg.Name)
+	}
+	return nil, 0, fmt.Errorf("-kill-rail: no front rail named %q (have %s)",
+		name, strings.Join(names, ", "))
 }
 
 // parseTenants reads "name:weight,name:weight" (weight defaults to 1).

@@ -23,6 +23,7 @@ import (
 	"e2edt/internal/iser"
 	"e2edt/internal/numa"
 	"e2edt/internal/pipe"
+	"e2edt/internal/railmgr"
 	"e2edt/internal/rftp"
 	"e2edt/internal/sim"
 	"e2edt/internal/testbed"
@@ -78,6 +79,12 @@ type RecoveryOptions struct {
 	// MaxStreamRetries bounds consecutive failed recovery attempts on one
 	// RFTP stream before the transfer gives up.
 	MaxStreamRetries int
+	// Rails, when Enabled, turns on multipath rail management for RFTP
+	// transfers launched through the System: failover off dead rails,
+	// credit rebalancing under degradation, and probed failback. Left
+	// disabled by default — single-path recovery alone reproduces the
+	// paper's baseline; experiments opt in explicitly.
+	Rails railmgr.Policy
 }
 
 // DefaultRecoveryOptions returns the tuned recovery ladder: fast iSCSI
@@ -105,6 +112,9 @@ func (r RecoveryOptions) ApplyRFTP(p rftp.Params) rftp.Params {
 	p.RetryBackoff = r.RetryBackoff
 	p.RetryBackoffMax = r.RetryBackoffMax
 	p.MaxStreamRetries = r.MaxStreamRetries
+	if r.Rails.Enabled && !p.Rails.Enabled {
+		p.Rails = r.Rails
+	}
 	return p
 }
 

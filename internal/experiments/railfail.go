@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"e2edt/internal/chart"
+	"e2edt/internal/faults"
+	"e2edt/internal/metrics"
+	"e2edt/internal/pipe"
+	"e2edt/internal/railmgr"
+	"e2edt/internal/rftp"
+	"e2edt/internal/sim"
+	"e2edt/internal/testbed"
+	"e2edt/internal/trace"
+	"e2edt/internal/units"
+)
+
+func init() {
+	register("S3", RailFailover)
+}
+
+// railFailoverParams tunes recovery + rail management for the scenario:
+// loss detection within 50 ms and the default probe/failback policy.
+func railFailoverParams() rftp.Params {
+	p := rftp.DefaultParams()
+	p.AckTimeout = 50 * sim.Millisecond
+	p.RetryBackoff = 20 * sim.Millisecond
+	p.RetryBackoffMax = 200 * sim.Millisecond
+	p.MaxStreamRetries = 32
+	p.Rails = railmgr.DefaultPolicy()
+	return p
+}
+
+// railOutcome is one failover run's measurements.
+type railOutcome struct {
+	elapsed    float64
+	windowRate float64 // goodput over the steady-state window, bytes/s
+	migrations int
+	failbacks  int
+	maxMigLat  float64 // seconds
+	readmits   int
+	deaths     int
+}
+
+// railRun drives one 24 GB transfer over the 3×40G pair under a fault
+// plan, measuring steady-state goodput over [w0, w1] (both rails settled),
+// and asserts the robustness invariants: completion, exactly-once
+// delivery, and bounded migration latency.
+func railRun(size float64, w0, w1 sim.Time, rec *trace.Recorder,
+	plan func(p *testbed.MotivatingPair) *faults.Plan) railOutcome {
+	pair := testbed.NewMotivatingPair()
+	eng := pair.Eng
+	if rec != nil {
+		eng.SetTracer(rec)
+	}
+	var doneAt sim.Time
+	done := false
+	cfg := rftp.DefaultConfig()
+	cfg.Streams = 6
+	tr, err := rftp.Start(pair.Links, pair.A, cfg, railFailoverParams(),
+		pipe.Zero{}, pipe.Null{}, size, func(now sim.Time) { done, doneAt = true, now })
+	if err != nil {
+		panic(err)
+	}
+	if plan != nil {
+		plan(pair).Apply(eng)
+	}
+	var at0, at1 float64
+	eng.At(w0, func() { at0 = tr.Transferred() })
+	eng.At(w1, func() { at1 = tr.Transferred() })
+	eng.Run()
+	if !done || tr.Failed() {
+		panic(fmt.Sprintf("S3: transfer did not complete (failed=%v)", tr.Failed()))
+	}
+	if d := tr.Transferred(); math.Abs(d-size) > 1 {
+		panic(fmt.Sprintf("S3: exactly-once violated: delivered %g of %g bytes", d, size))
+	}
+	o := railOutcome{
+		elapsed:    float64(doneAt),
+		windowRate: (at1 - at0) / float64(w1-w0),
+		migrations: tr.Migrations,
+		failbacks:  tr.Failbacks,
+	}
+	for _, l := range tr.MigrationLatencies() {
+		if float64(l) > o.maxMigLat {
+			o.maxMigLat = float64(l)
+		}
+	}
+	// Migration must be bounded by loss detection plus the re-establish
+	// round trip — far under the retry ladder's worst case.
+	if bound := float64(railFailoverParams().AckTimeout) + 0.05; o.maxMigLat > bound {
+		panic(fmt.Sprintf("S3: migration latency %.3fs exceeds bound %.3fs", o.maxMigLat, bound))
+	}
+	if m := tr.Rails(); m != nil {
+		o.readmits = m.Readmissions
+		o.deaths = m.Deaths
+	}
+	return o
+}
+
+// corruptionRun drives one transfer with n seeded silent corruptions and
+// reports what the integrity plane saw.
+func corruptionRun(size float64, checksum bool, n int) (detected, violations int, retx, delivered float64, completed bool) {
+	pair := testbed.NewMotivatingPair()
+	cfg := rftp.DefaultConfig()
+	cfg.Checksum = checksum
+	done := false
+	tr, err := rftp.Start(pair.Links, pair.A, cfg, railFailoverParams(),
+		pipe.Zero{}, pipe.Null{}, size, func(sim.Time) { done = true })
+	if err != nil {
+		panic(err)
+	}
+	pl := &faults.Plan{}
+	for i := 0; i < n; i++ {
+		pl.Corrupt(pair.Links[i%len(pair.Links)], sim.Time(0.2+0.15*float64(i)))
+	}
+	pl.Apply(pair.Eng)
+	pair.Eng.Run()
+	return tr.CorruptionsDetected, tr.IntegrityViolations, tr.Retransmitted, tr.Transferred(), done
+}
+
+// RailFailover is the multipath robustness scenario: one of three rails
+// dies under a 24 GB transfer. Streams must migrate to the survivors and
+// goodput must settle at two thirds of the three-rail rate; when the rail
+// is repaired, the re-probed rail takes its streams back. A corruption
+// sweep then exercises the end-to-end integrity plane: with Checksum on
+// every injected silent bit flip is caught and re-transferred; with it
+// off the corrupt bytes are delivered and only the violation counter
+// knows — quantifying exactly what the checksum's CPU cost buys.
+func RailFailover() Result {
+	size := 24 * float64(units.GB)
+	killAt := sim.Time(500 * sim.Millisecond)
+	// Steady-state window: after migration has settled, before completion.
+	w0, w1 := sim.Time(1.0), sim.Time(1.5)
+
+	base := railRun(size, w0, w1, nil, nil)
+	kill := railRun(size, w0, w1, nil, func(p *testbed.MotivatingPair) *faults.Plan {
+		pl := &faults.Plan{}
+		pl.PermanentFail(p.Links[1], killAt)
+		return pl
+	})
+	heal := railRun(size, w0, w1, nil, func(p *testbed.MotivatingPair) *faults.Plan {
+		pl := &faults.Plan{}
+		pl.FailWindow(p.Links[1], killAt, sim.Duration(1.5*float64(sim.Second)))
+		return pl
+	})
+
+	// Acceptance: post-migration goodput within 10% of 2/3 of the
+	// three-rail steady rate.
+	want := base.windowRate * 2 / 3
+	if math.Abs(kill.windowRate-want)/want > 0.10 {
+		panic(fmt.Sprintf("S3: post-failover goodput %.2f GB/s outside 10%% of %.2f GB/s",
+			kill.windowRate/1e9, want/1e9))
+	}
+	if kill.migrations < 2 {
+		panic(fmt.Sprintf("S3: expected the dead rail's 2 streams to migrate, got %d", kill.migrations))
+	}
+	if heal.failbacks < 1 || heal.readmits < 1 {
+		panic(fmt.Sprintf("S3: repair produced no failback (failbacks=%d, readmissions=%d)",
+			heal.failbacks, heal.readmits))
+	}
+
+	// Determinism: the kill scenario replayed must produce a bit-identical
+	// event trace.
+	mkPlan := func(p *testbed.MotivatingPair) *faults.Plan {
+		pl := &faults.Plan{}
+		pl.PermanentFail(p.Links[1], killAt)
+		return pl
+	}
+	rec1, rec2 := &trace.Recorder{}, &trace.Recorder{}
+	railRun(size, w0, w1, rec1, mkPlan)
+	railRun(size, w0, w1, rec2, mkPlan)
+	if len(rec1.Events) == 0 || !reflect.DeepEqual(rec1.Events, rec2.Events) {
+		panic(fmt.Sprintf("S3: replayed kill scenario diverged (%d vs %d events)",
+			len(rec1.Events), len(rec2.Events)))
+	}
+
+	failover := metrics.Table{
+		Title: "Rail failover: 24 GB, 6 streams over 3×40G, rail 1 killed at t=0.5s",
+		Headers: []string{"scenario", "elapsed", "steady goodput", "migrations", "failbacks",
+			"max mig lat", "rail deaths", "readmissions", "exactly-once"},
+	}
+	for _, row := range []struct {
+		name string
+		o    railOutcome
+	}{
+		{"baseline (no faults)", base},
+		{"kill (permanent)", kill},
+		{"kill + repair at 2.0s", heal},
+	} {
+		failover.AddRow(
+			row.name,
+			fmt.Sprintf("%.2fs", row.o.elapsed),
+			units.FormatRate(row.o.windowRate),
+			fmt.Sprintf("%d", row.o.migrations),
+			fmt.Sprintf("%d", row.o.failbacks),
+			fmt.Sprintf("%.1fms", row.o.maxMigLat*1e3),
+			fmt.Sprintf("%d", row.o.deaths),
+			fmt.Sprintf("%d", row.o.readmits),
+			"yes",
+		)
+	}
+
+	corrSize := 12 * float64(units.GB)
+	const nCorrupt = 3
+	integrity := metrics.Table{
+		Title: "Integrity plane: 3 seeded silent bit flips under a 12 GB transfer",
+		Headers: []string{"checksum", "injected", "detected", "violations",
+			"retransmitted", "delivered", "verdict"},
+	}
+	var undetected int
+	for _, on := range []bool{true, false} {
+		det, vio, retx, delivered, completed := corruptionRun(corrSize, on, nCorrupt)
+		if !completed {
+			panic("S3: corruption run did not complete")
+		}
+		verdict := "all flips caught and re-transferred"
+		if on {
+			if det != nCorrupt || vio != 0 || retx <= 0 {
+				panic(fmt.Sprintf("S3: checksum on: detected=%d violations=%d retx=%g", det, vio, retx))
+			}
+		} else {
+			if det != 0 || vio < 1 {
+				panic(fmt.Sprintf("S3: checksum off: detected=%d violations=%d", det, vio))
+			}
+			undetected = vio
+			verdict = "CORRUPT BYTES DELIVERED undetected"
+		}
+		integrity.AddRow(
+			fmt.Sprintf("%v", on),
+			fmt.Sprintf("%d", nCorrupt),
+			fmt.Sprintf("%d", det),
+			fmt.Sprintf("%d", vio),
+			units.FormatBytes(int64(retx)),
+			units.FormatBytes(int64(delivered)),
+			verdict,
+		)
+	}
+
+	good := metrics.Series{Name: "steady-goodput-Gbps"}
+	good.Add(3, units.ToGbps(base.windowRate))
+	good.Add(2, units.ToGbps(kill.windowRate))
+
+	return Result{
+		ID:     "S3",
+		Title:  "Multi-rail failover: stream migration, failback and the integrity plane",
+		Tables: []metrics.Table{failover, integrity},
+		Series: []metrics.Series{good},
+		Chart:  &chart.Options{XLabel: "surviving rails", YLabel: "Gbps"},
+		Notes: []string{
+			fmt.Sprintf("killing 1 of 3 rails settles goodput at %.1f Gbps vs %.1f Gbps baseline — within 10%% of the ideal 2/3",
+				units.ToGbps(kill.windowRate), units.ToGbps(base.windowRate)),
+			fmt.Sprintf("worst migration latency %.1f ms: loss detection (AckTimeout) dominates; the re-establish round trip is sub-millisecond on the LAN",
+				kill.maxMigLat*1e3),
+			"repairing the rail re-admits it only after consecutive end-to-end probe echoes; streams then fail back with zero double-delivery",
+			"the kill scenario replayed with the same schedule produces a bit-identical event trace",
+			fmt.Sprintf("with Checksum off, %d corrupt block(s) reached the receiver marked delivered — the violation counter is the only witness, which is the point of the integrity ablation", undetected),
+		},
+	}
+}

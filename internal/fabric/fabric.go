@@ -70,6 +70,11 @@ const (
 	// is untouched, but reliable-connection state machines riding the link
 	// (RDMA QPs) see error completions.
 	EventErrorBurst
+	// EventCorruption: a silent bit flip passed the link-layer CRC — the
+	// block in flight arrives corrupt with no link-level indication.
+	// Capacity and reliable-connection state are untouched; only an
+	// end-to-end integrity check above the fabric can catch it.
+	EventCorruption
 )
 
 // String names the event kind.
@@ -81,6 +86,8 @@ func (k EventKind) String() string {
 		return "up"
 	case EventDegraded:
 		return "degraded"
+	case EventCorruption:
+		return "corruption"
 	default:
 		return "error-burst"
 	}
@@ -286,6 +293,18 @@ func (l *Link) Degrade(fraction float64) {
 func (l *Link) InjectErrorBurst() {
 	l.eng.Tracef("fabric", "link %s error burst", l.Cfg.Name)
 	l.notify(EventErrorBurst)
+}
+
+// InjectCorruption models a silent data corruption: a bit flip that
+// slipped past the link-layer CRC (undetected error rates on long optics
+// are small but not zero, and at 40 Gbps "small" is hours, not years).
+// The link keeps running at full capacity and raises no RDMA error — the
+// payload block in flight is simply wrong on arrival. Watchers receive an
+// EventCorruption; whether anyone notices is the receiver's integrity
+// layer's problem, which is exactly the point.
+func (l *Link) InjectCorruption() {
+	l.eng.Tracef("fabric", "link %s silent corruption", l.Cfg.Name)
+	l.notify(EventCorruption)
 }
 
 // Failed reports whether the link is currently down.

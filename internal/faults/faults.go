@@ -34,6 +34,10 @@ const (
 	LinkDegrade
 	// ErrorBurst raises RDMA error completions without touching capacity.
 	ErrorBurst
+	// Corrupt injects a silent bit flip: the block in flight arrives wrong
+	// with no link-level or RDMA-level indication. Only an end-to-end
+	// integrity check can catch it.
+	Corrupt
 )
 
 // String names the kind for traces and report tables.
@@ -45,6 +49,8 @@ func (k Kind) String() string {
 		return "restore"
 	case LinkDegrade:
 		return "degrade"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return "error-burst"
 	}
@@ -98,6 +104,20 @@ func (p *Plan) Burst(l *fabric.Link, at sim.Time) {
 	p.Add(Event{At: at, Kind: ErrorBurst, Link: l})
 }
 
+// Corrupt schedules one silent bit flip.
+func (p *Plan) Corrupt(l *fabric.Link, at sim.Time) {
+	p.Add(Event{At: at, Kind: Corrupt, Link: l})
+}
+
+// PermanentFail schedules a link failure that is never repaired — a died
+// transceiver, a cut fiber. Every window helper in this package restores
+// the link before the horizon ends; this one deliberately does not, so
+// failover policy (stream migration off the dead rail) can be tested
+// against the failure mode where waiting it out never works.
+func (p *Plan) PermanentFail(l *fabric.Link, at sim.Time) {
+	p.Add(Event{At: at, Kind: LinkFail, Link: l})
+}
+
 // Apply schedules every event on the engine. Call before Run; events in
 // the past panic (the engine refuses to schedule before now).
 func (p *Plan) Apply(eng *sim.Engine) {
@@ -118,6 +138,8 @@ func (p *Plan) Apply(eng *sim.Engine) {
 				ev.Link.Degrade(ev.Fraction)
 			case ErrorBurst:
 				ev.Link.InjectErrorBurst()
+			case Corrupt:
+				ev.Link.InjectCorruption()
 			}
 		})
 	}
@@ -173,8 +195,9 @@ type ChaosConfig struct {
 	// windows (default 0.5 when zero).
 	DegradeFraction float64
 	// Weights select the fault mix: relative odds of a flap, a degrade
-	// window, and an error burst. All-zero means flaps only.
-	FlapWeight, DegradeWeight, BurstWeight float64
+	// window, an error burst, and a silent corruption. All-zero means
+	// flaps only.
+	FlapWeight, DegradeWeight, BurstWeight, CorruptWeight float64
 }
 
 // Chaos draws a fault schedule from cfg over the given links. Each fault
@@ -197,7 +220,7 @@ func Chaos(cfg ChaosConfig, links ...*fabric.Link) *Plan {
 	if cfg.DegradeFraction <= 0 || cfg.DegradeFraction > 1 {
 		cfg.DegradeFraction = 0.5
 	}
-	wSum := cfg.FlapWeight + cfg.DegradeWeight + cfg.BurstWeight
+	wSum := cfg.FlapWeight + cfg.DegradeWeight + cfg.BurstWeight + cfg.CorruptWeight
 	if wSum <= 0 {
 		cfg.FlapWeight, wSum = 1, 1
 	}
@@ -223,8 +246,10 @@ func Chaos(cfg ChaosConfig, links ...*fabric.Link) *Plan {
 			p.FailWindow(l, at, window)
 		case pick < cfg.FlapWeight+cfg.DegradeWeight:
 			p.DegradeWindow(l, at, window, cfg.DegradeFraction)
-		default:
+		case pick < cfg.FlapWeight+cfg.DegradeWeight+cfg.BurstWeight:
 			p.Burst(l, at)
+		default:
+			p.Corrupt(l, at)
 		}
 	}
 	p.sortEvents()

@@ -125,3 +125,62 @@ func TestPlanRendering(t *testing.T) {
 		t.Fatal("empty plan table should say so")
 	}
 }
+
+// TestPermanentFailNeverRestores: the plan ends with the link still dark,
+// unlike every window helper.
+func TestPermanentFailNeverRestores(t *testing.T) {
+	eng, l := testLink("roce")
+	p := &Plan{}
+	p.PermanentFail(l, 2)
+	p.Apply(eng)
+	eng.Run()
+	if !l.Failed() || l.Fraction() != 0 {
+		t.Fatalf("permanent failure repaired itself: failed=%v fraction=%v",
+			l.Failed(), l.Fraction())
+	}
+	for _, ev := range p.Events {
+		if ev.Kind == LinkRestore {
+			t.Fatal("PermanentFail scheduled a restore")
+		}
+	}
+}
+
+// TestCorruptDeliversEventWithoutCapacityChange: a corruption event
+// reaches watchers but leaves the link running and error-free.
+func TestCorruptDeliversEventWithoutCapacityChange(t *testing.T) {
+	eng, l := testLink("roce")
+	var got []fabric.EventKind
+	l.Watch(func(ev fabric.Event) { got = append(got, ev.Kind) })
+	p := &Plan{}
+	p.Corrupt(l, 1)
+	p.Apply(eng)
+	eng.Run()
+	if !reflect.DeepEqual(got, []fabric.EventKind{fabric.EventCorruption}) {
+		t.Fatalf("events = %v, want one corruption", got)
+	}
+	if l.Fraction() != 1 || l.Failed() {
+		t.Fatal("corruption must not touch capacity")
+	}
+	if !l.Send(64, func(sim.Time) {}) {
+		t.Fatal("corruption must not drop control messages")
+	}
+}
+
+// TestChaosCorruptWeight: with only CorruptWeight set, every drawn fault
+// is a corruption, and the schedule stays deterministic per seed.
+func TestChaosCorruptWeight(t *testing.T) {
+	_, l := testLink("roce")
+	p := Chaos(ChaosConfig{Seed: 3, Horizon: 60, MeanBetween: 2, CorruptWeight: 1}, l)
+	if len(p.Events) == 0 {
+		t.Fatal("no corruption events drawn")
+	}
+	for _, ev := range p.Events {
+		if ev.Kind != Corrupt {
+			t.Fatalf("kind = %v, want corrupt", ev.Kind)
+		}
+	}
+	q := Chaos(ChaosConfig{Seed: 3, Horizon: 60, MeanBetween: 2, CorruptWeight: 1}, l)
+	if !reflect.DeepEqual(p.Events, q.Events) {
+		t.Fatal("same seed produced different corruption schedules")
+	}
+}

@@ -1,0 +1,358 @@
+// Package railmgr is a per-transfer rail health manager: it watches the
+// fabric's link transitions and runs a stall-probe heartbeat over every
+// rail a transfer spans, classifying each one Healthy, Degraded, Dead or
+// Probing. The classification is what multipath policy hangs off:
+//
+//   - a rail that goes Dead must shed its streams (failover) — in-protocol
+//     retransmission on the same path can never drain a dark fiber;
+//   - a Degraded rail keeps its streams but should carry a smaller credit
+//     window (rebalance) — it still makes progress, just slower;
+//   - a restored rail is not trusted on the link-up edge alone: it is
+//     re-probed end to end (Probing) and only re-admitted after
+//     FailbackProbes consecutive echoes, which dampens flapping optics.
+//
+// The manager is deterministic: watchers fire synchronously inside link
+// transitions, probes ride the same virtual clock as everything else, and
+// no randomness is drawn, so the same fault schedule yields the same
+// transition history bit for bit.
+package railmgr
+
+import (
+	"fmt"
+
+	"e2edt/internal/fabric"
+	"e2edt/internal/sim"
+)
+
+// State classifies one rail.
+type State int
+
+const (
+	// Healthy: full capacity, carrying traffic.
+	Healthy State = iota
+	// Degraded: reduced capacity (Link.Fraction < 1) but alive — streams
+	// stay put, credit windows shrink.
+	Degraded
+	// Dead: dark — control messages drop, flows stall, streams must leave.
+	Dead
+	// Probing: the link-layer came back up; end-to-end echoes must succeed
+	// before the rail is re-admitted.
+	Probing
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	default:
+		return "probing"
+	}
+}
+
+// Usable reports whether a rail in this state may carry streams.
+func (s State) Usable() bool { return s == Healthy || s == Degraded }
+
+// Policy tunes the manager.
+type Policy struct {
+	// Enabled switches rail management on (the zero value disables it, so
+	// embedding configs keep their legacy fixed-NIC behavior).
+	Enabled bool
+	// ProbeEvery is the heartbeat period on live rails (default 100 ms).
+	ProbeEvery sim.Duration
+	// ProbeTimeout is how long one echo may take before it counts as
+	// missed; it is clamped to at least twice the rail's RTT (default 25 ms).
+	ProbeTimeout sim.Duration
+	// ProbeBytes is the probe message size (default 64).
+	ProbeBytes float64
+	// FailbackProbes is how many consecutive echoes a restored rail must
+	// return before re-admission (default 2).
+	FailbackProbes int
+	// MissedProbes is how many consecutive missed heartbeats declare a
+	// live rail Dead even without a link-down event (default 2).
+	MissedProbes int
+}
+
+// DefaultPolicy returns the tuned rail policy, enabled.
+func DefaultPolicy() Policy {
+	return Policy{
+		Enabled:        true,
+		ProbeEvery:     100 * sim.Millisecond,
+		ProbeTimeout:   25 * sim.Millisecond,
+		ProbeBytes:     64,
+		FailbackProbes: 2,
+		MissedProbes:   2,
+	}
+}
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.ProbeEvery <= 0 {
+		p.ProbeEvery = d.ProbeEvery
+	}
+	if p.ProbeTimeout <= 0 {
+		p.ProbeTimeout = d.ProbeTimeout
+	}
+	if p.ProbeBytes <= 0 {
+		p.ProbeBytes = d.ProbeBytes
+	}
+	if p.FailbackProbes <= 0 {
+		p.FailbackProbes = d.FailbackProbes
+	}
+	if p.MissedProbes <= 0 {
+		p.MissedProbes = d.MissedProbes
+	}
+	return p
+}
+
+// ProbeBudget returns the worst-case re-admission latency the policy
+// allows a restored rail: one heartbeat period to notice it, plus the
+// consecutive verification echoes. Watchdogs above the transfer add this
+// to their grace window while a failover is in flight.
+func (p Policy) ProbeBudget() sim.Duration {
+	p = p.withDefaults()
+	return p.ProbeEvery + sim.Duration(p.FailbackProbes)*p.ProbeTimeout
+}
+
+// Transition records one state change for reports and tests.
+type Transition struct {
+	Rail     int
+	From, To State
+	At       sim.Time
+}
+
+// Manager classifies a set of rails and drives failover/failback policy
+// through its OnTransition callback.
+type Manager struct {
+	// OnTransition, when set, fires synchronously on every state change.
+	OnTransition func(rail int, from, to State, now sim.Time)
+	// Transitions is the full state-change history.
+	Transitions []Transition
+	// Deaths and Readmissions count Dead entries and Probing→usable exits.
+	Deaths, Readmissions int
+
+	pol    Policy
+	eng    *sim.Engine
+	links  []*fabric.Link
+	states []State
+	missed []int // consecutive missed heartbeats per rail
+	echoes []int // consecutive successful failback probes per rail
+	seq    []uint64
+	deadln []*sim.Event // pending probe-timeout events, one per rail
+	ticker *sim.Ticker
+	stop   bool
+}
+
+// New builds a manager over the given rails and starts its heartbeat.
+// Initial states are read from each link's current Fraction.
+func New(eng *sim.Engine, links []*fabric.Link, pol Policy) *Manager {
+	if len(links) == 0 {
+		panic("railmgr: no rails")
+	}
+	pol = pol.withDefaults()
+	m := &Manager{
+		pol: pol, eng: eng, links: links,
+		states: make([]State, len(links)),
+		missed: make([]int, len(links)),
+		echoes: make([]int, len(links)),
+		seq:    make([]uint64, len(links)),
+		deadln: make([]*sim.Event, len(links)),
+	}
+	for i, l := range links {
+		switch f := l.Fraction(); {
+		case f == 0:
+			m.states[i] = Dead
+		case f < 1:
+			m.states[i] = Degraded
+		default:
+			m.states[i] = Healthy
+		}
+		i, l := i, l
+		l.Watch(func(ev fabric.Event) { m.onLinkEvent(i, ev) })
+	}
+	m.ticker = eng.NewTicker(pol.ProbeEvery, m.tick)
+	return m
+}
+
+// State returns rail i's classification.
+func (m *Manager) State(i int) State { return m.states[i] }
+
+// Usable reports whether rail i may carry streams.
+func (m *Manager) Usable(i int) bool { return m.states[i].Usable() }
+
+// UsableRails returns the indices of usable rails, ascending.
+func (m *Manager) UsableRails() []int {
+	var out []int
+	for i, s := range m.states {
+		if s.Usable() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Rails returns the number of managed rails.
+func (m *Manager) Rails() int { return len(m.links) }
+
+// Stop halts the heartbeat and cancels pending probe deadlines.
+func (m *Manager) Stop() {
+	if m.stop {
+		return
+	}
+	m.stop = true
+	m.ticker.Stop()
+	for i := range m.deadln {
+		if m.deadln[i] != nil {
+			m.eng.Cancel(m.deadln[i])
+			m.deadln[i] = nil
+		}
+	}
+}
+
+// onLinkEvent reacts to link-layer transitions.
+func (m *Manager) onLinkEvent(i int, ev fabric.Event) {
+	if m.stop {
+		return
+	}
+	switch ev.Kind {
+	case fabric.EventDown:
+		m.transition(i, Dead)
+	case fabric.EventUp:
+		if m.states[i] == Dead {
+			m.transition(i, Probing)
+			m.echoes[i] = 0
+			m.probe(i) // start re-admission immediately, not at the next tick
+		}
+	case fabric.EventDegraded:
+		switch m.states[i] {
+		case Healthy:
+			if ev.Fraction < 1 {
+				m.transition(i, Degraded)
+			}
+		case Degraded:
+			if ev.Fraction >= 1 {
+				m.transition(i, Healthy)
+			}
+		}
+		// Dead/Probing: the standing fraction is picked up on re-admission.
+	}
+}
+
+// tick is the heartbeat: probe every rail that is not Dead. Dead rails
+// wait for the link-up event; probing them would only count drops.
+func (m *Manager) tick(sim.Time) {
+	for i := range m.links {
+		if m.states[i] != Dead && m.deadln[i] == nil {
+			m.probe(i)
+		}
+	}
+}
+
+// probe sends one end-to-end echo on rail i and arms its deadline.
+func (m *Manager) probe(i int) {
+	if m.stop {
+		return
+	}
+	m.seq[i]++
+	seq := m.seq[i]
+	l := m.links[i]
+	timeout := m.pol.ProbeTimeout
+	if min := 2 * l.RTT(); timeout < min {
+		timeout = min
+	}
+	m.deadln[i] = m.eng.Schedule(timeout, func() {
+		m.deadln[i] = nil
+		m.probeMissed(i, seq)
+	})
+	l.Send(m.pol.ProbeBytes, func(sim.Time) {
+		l.Send(m.pol.ProbeBytes, func(sim.Time) { m.probeEcho(i, seq) })
+	})
+	// A synchronous drop needs no special casing: the armed deadline
+	// expires and counts the miss.
+}
+
+// probeEcho handles a returned probe.
+func (m *Manager) probeEcho(i int, seq uint64) {
+	if m.stop || seq != m.seq[i] {
+		return // stale echo from before a state change
+	}
+	if m.deadln[i] != nil {
+		m.eng.Cancel(m.deadln[i])
+		m.deadln[i] = nil
+	}
+	m.missed[i] = 0
+	if m.states[i] != Probing {
+		return
+	}
+	m.echoes[i]++
+	if m.echoes[i] < m.pol.FailbackProbes {
+		m.probe(i) // chain the next verification echo immediately
+		return
+	}
+	// Re-admit at the rail's standing capacity fraction.
+	if m.links[i].Fraction() < 1 {
+		m.transition(i, Degraded)
+	} else {
+		m.transition(i, Healthy)
+	}
+}
+
+// probeMissed handles an expired probe deadline.
+func (m *Manager) probeMissed(i int, seq uint64) {
+	if m.stop || seq != m.seq[i] {
+		return
+	}
+	switch m.states[i] {
+	case Healthy, Degraded:
+		m.missed[i]++
+		if m.missed[i] >= m.pol.MissedProbes {
+			m.transition(i, Dead)
+		}
+	case Probing:
+		m.echoes[i] = 0 // verification restarts at the next heartbeat
+	}
+}
+
+// transition applies a state change and notifies.
+func (m *Manager) transition(i int, to State) {
+	from := m.states[i]
+	if from == to {
+		return
+	}
+	m.states[i] = to
+	m.missed[i] = 0
+	if to != Probing {
+		m.echoes[i] = 0
+	}
+	if m.deadln[i] != nil {
+		m.eng.Cancel(m.deadln[i])
+		m.deadln[i] = nil
+	}
+	switch {
+	case to == Dead:
+		m.Deaths++
+	case from == Probing && to.Usable():
+		m.Readmissions++
+	}
+	now := m.eng.Now()
+	m.Transitions = append(m.Transitions, Transition{Rail: i, From: from, To: to, At: now})
+	m.eng.Tracef("railmgr", "rail %d (%s) %s -> %s", i, m.links[i].Cfg.Name, from, to)
+	if m.OnTransition != nil {
+		m.OnTransition(i, from, to, now)
+	}
+}
+
+// History renders the transition log, one line per change (for reports).
+func (m *Manager) History() string {
+	out := ""
+	for _, tr := range m.Transitions {
+		out += fmt.Sprintf("%10.4fs  rail %d (%s): %s -> %s\n",
+			float64(tr.At), tr.Rail, m.links[tr.Rail].Cfg.Name, tr.From, tr.To)
+	}
+	return out
+}

@@ -21,6 +21,14 @@
 // bounding its rate by Credits×BlockSize/RTT — on the 95 ms ANI loop this
 // is the dominant limit for small blocks and few streams, reproducing the
 // left half of Figure 13.
+//
+// Multipath: a stream is bound to a rail (one of the session's links)
+// through an indirection, not to a fixed NIC. With Params.Rails enabled a
+// railmgr.Manager classifies every rail and the session reacts: streams on
+// a Dead rail fail over to surviving rails and resume from their acked
+// offset; Degraded rails keep their streams but the credit pool shifts
+// toward healthy rails in proportion to capacity; a re-probed restored
+// rail gets its streams back (failback) with no byte delivered twice.
 package rftp
 
 import (
@@ -32,6 +40,7 @@ import (
 	"e2edt/internal/host"
 	"e2edt/internal/numa"
 	"e2edt/internal/pipe"
+	"e2edt/internal/railmgr"
 	"e2edt/internal/rdma"
 	"e2edt/internal/sim"
 	"e2edt/internal/units"
@@ -73,10 +82,48 @@ type Params struct {
 	// MaxStreamRetries bounds consecutive failed recovery attempts on one
 	// stream before the transfer gives up and fires OnFailure (default 16).
 	MaxStreamRetries int
+
+	// Rails, when Enabled, runs a rail health manager over the session's
+	// links and turns on multipath policy: failover off Dead rails,
+	// credit rebalancing toward healthy rails under degradation, and
+	// probed failback onto restored rails. Requires AckTimeout > 0 — the
+	// ACK tracker is what makes migration resume exactly-once.
+	Rails railmgr.Policy
 }
 
 // recoveryEnabled reports whether in-protocol recovery is on.
 func (p Params) recoveryEnabled() bool { return p.AckTimeout > 0 }
+
+// RecoveryBudget bounds how long a transfer with in-protocol recovery may
+// legitimately show zero delivered-byte progress on one same-rail retry
+// ladder: the loss detection window plus every backoff it is allowed to
+// wait out. Outer watchdogs build their stall horizon from this.
+func (p Params) RecoveryBudget() sim.Duration {
+	if p.AckTimeout <= 0 {
+		return 0
+	}
+	b := p.RetryBackoff
+	if b <= 0 {
+		b = 100 * sim.Millisecond
+	}
+	cap := p.RetryBackoffMax
+	if cap <= 0 {
+		cap = 5 * sim.Second
+	}
+	n := p.MaxStreamRetries
+	if n <= 0 {
+		n = 16
+	}
+	d := p.AckTimeout
+	for i := 0; i < n; i++ {
+		if b > cap {
+			b = cap
+		}
+		d += b
+		b *= 2
+	}
+	return d
+}
 
 // DefaultParams matches the paper's Figure 4 profile on 2.2 GHz cores.
 func DefaultParams() Params {
@@ -105,7 +152,8 @@ type Config struct {
 	// Checksum enables end-to-end block integrity verification: each side
 	// reads every payload byte once more and spends checksum cycles on a
 	// dedicated I/O thread (RDMA already guarantees link-level integrity;
-	// this guards the storage path).
+	// this guards the storage path — and it is the only layer that can
+	// catch a silent bit flip the link CRC missed).
 	Checksum bool
 }
 
@@ -132,17 +180,69 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// RecoveryKind classifies what a recovering stream is doing, in ascending
+// cost order. Outer watchdogs size their grace window off the most
+// expensive kind in flight: a migration pays probing and a fresh session
+// on another rail, which a plain retransmission never does.
+type RecoveryKind int
+
+const (
+	// KindNone: no recovery in flight.
+	KindNone RecoveryKind = iota
+	// KindRetransmit: same-rail window retransmission (PR 2 ladder).
+	KindRetransmit
+	// KindChecksum: re-transfer of a corrupt block on a healthy rail.
+	KindChecksum
+	// KindFailback: clean migration back onto a re-admitted rail.
+	KindFailback
+	// KindFailover: migration off a Dead rail (or parked waiting for any
+	// usable rail) — the slowest recovery the protocol performs.
+	KindFailover
+)
+
+// String names the kind.
+func (k RecoveryKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindRetransmit:
+		return "retransmit"
+	case KindChecksum:
+		return "checksum"
+	case KindFailback:
+		return "failback"
+	default:
+		return "failover"
+	}
+}
+
+// side is one stream endpoint on one rail: NIC, network + I/O threads,
+// and the registered staging buffer.
+type side struct {
+	nic *host.Device
+	net *host.Thread
+	io  *host.Thread
+	buf *numa.Buffer
+}
+
+// endpoints pairs the sender and receiver sides of a stream on one rail.
+type endpoints struct {
+	snd, rcv side
+}
+
 // stream is one RDMA data channel.
 type stream struct {
-	idx      int
-	link     *fabric.Link
+	idx int
+	// rail indexes the transfer's links: the stream's current binding.
+	// Rail mode migrates it; legacy mode fixes it at start.
+	rail int
+	// eps holds the stream's per-rail endpoints; only the home rail is
+	// built in legacy mode.
+	eps      []*endpoints
 	transfer *fluid.Transfer
-	// build recreates the stream's fully-charged fluid flow for a given
-	// residual size; fluid.Cancel removes the flow from the network, so
-	// every retransmission attempt needs a fresh one.
-	build func(remaining float64) (*fluid.Transfer, error)
 	// qp is the stream's reliable connection when recovery is enabled; its
-	// error completions trigger immediate loss declaration.
+	// error completions trigger immediate loss declaration. Migration
+	// abandons it for a fresh QP on the target rail.
 	qp *rdma.QP
 	// perStream is this stream's share of the session; acked counts bytes
 	// definitely delivered, remaining = perStream − acked.
@@ -155,6 +255,7 @@ type stream struct {
 	lastMoved      float64
 	lastProgressAt sim.Time
 	recovering     bool
+	kind           RecoveryKind
 	faultAt        sim.Time
 	pending        *sim.Event
 	done           bool
@@ -168,6 +269,9 @@ type Transfer struct {
 	Sender *host.Host
 
 	streams  []*stream
+	links    []*fabric.Link
+	mgr      *railmgr.Manager
+	src, dst pipe.Stage
 	sim      *fluid.Sim
 	eng      *sim.Engine
 	started  sim.Time
@@ -184,13 +288,23 @@ type Transfer struct {
 	// Retransmitted counts payload bytes scheduled for retransmission
 	// after declared losses.
 	Retransmitted float64
-	// Recoveries counts successful in-protocol stream re-establishments.
+	// Recoveries counts successful in-protocol stream re-establishments
+	// on the same rail.
 	Recoveries int
+	// Migrations counts streams moved off a Dead rail (failover);
+	// Failbacks counts streams moved back onto a re-admitted rail.
+	Migrations, Failbacks int
+	// CorruptionsDetected counts corrupt blocks the checksum layer caught
+	// and re-transferred; IntegrityViolations counts corrupt blocks
+	// delivered unnoticed because Config.Checksum was off.
+	CorruptionsDetected int
+	IntegrityViolations int
 
-	recoveryLat []sim.Duration
-	ticker      *sim.Ticker
-	failed      bool
-	stopped     bool
+	recoveryLat  []sim.Duration
+	migrationLat []sim.Duration
+	ticker       *sim.Ticker
+	failed       bool
+	stopped      bool
 }
 
 // Start launches an RFTP transfer of size bytes (math.Inf(1) for an
@@ -217,6 +331,9 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 		}
 		size -= float64(p.StartOffset)
 	}
+	if p.Rails.Enabled && !p.recoveryEnabled() {
+		return nil, fmt.Errorf("rftp: Rails requires AckTimeout > 0 (the ACK tracker makes migration exactly-once)")
+	}
 	if p.recoveryEnabled() {
 		if p.RetryBackoff <= 0 {
 			p.RetryBackoff = 100 * sim.Millisecond
@@ -233,16 +350,24 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 	}
 	t := &Transfer{
 		Cfg: cfg, P: p, Size: size, Sender: senderHost,
+		links: links, src: src, dst: dst,
 		sim: links[0].Sim(), eng: links[0].Engine(),
 		OnComplete: onComplete,
 	}
 	t.started = t.eng.Now()
 
-	type side struct {
-		nic *host.Device
-		net *host.Thread
-		io  *host.Thread
-		buf *numa.Buffer
+	// Resolve the sender NIC on every rail up front; a stream's endpoints
+	// on rail r are built from these.
+	sndNICs := make([]*host.Device, len(links))
+	for i, l := range links {
+		switch senderHost {
+		case l.A.Host:
+			sndNICs[i] = l.A
+		case l.B.Host:
+			sndNICs[i] = l.B
+		default:
+			return nil, fmt.Errorf("rftp: sender %s not on link %s", senderHost.Name, l.Cfg.Name)
+		}
 	}
 	mkSide := func(l *fabric.Link, nic *host.Device, role string) side {
 		h := nic.Host
@@ -267,56 +392,25 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 	if !math.IsInf(size, 1) {
 		perStream = size / float64(cfg.Streams)
 	}
-	bs := float64(cfg.BlockSize)
 	for i := 0; i < cfg.Streams; i++ {
-		l := links[i%len(links)]
-		var sndNIC *host.Device
-		switch senderHost {
-		case l.A.Host:
-			sndNIC = l.A
-		case l.B.Host:
-			sndNIC = l.B
-		default:
-			return nil, fmt.Errorf("rftp: sender %s not on link %s", senderHost.Name, l.Cfg.Name)
+		st := &stream{
+			idx: i, rail: i % len(links),
+			perStream: perStream, remaining: perStream,
+			eps: make([]*endpoints, len(links)),
 		}
-		snd := mkSide(l, sndNIC, "c")
-		rcv := mkSide(l, l.Peer(sndNIC), "s")
-
-		st := &stream{idx: i, link: l, perStream: perStream, remaining: perStream}
-		li, sndNICi, sndS, rcvS := l, sndNIC, snd, rcv
-		st.build = func(remaining float64) (*fluid.Transfer, error) {
-			f := t.sim.NewFlow(fmt.Sprintf("rftp/%s/s%d", li.Cfg.Name, st.idx), t.windowCap(li))
-			tag := "rftp"
-			// Data loading (pipelined onto a dedicated I/O thread).
-			if err := src.Attach(f, sndS.io, sndS.buf, 1, tag); err != nil {
-				return nil, fmt.Errorf("rftp: source: %w", err)
+		// Rail mode pre-builds endpoints on every rail, deterministically
+		// at start, so a migration never allocates mid-crisis; legacy mode
+		// builds only the fixed home rail.
+		for r := range links {
+			if r != st.rail && !p.Rails.Enabled {
+				continue
 			}
-			// Sender protocol processing: per-byte plus per-block costs.
-			sndS.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
-			if cfg.Checksum {
-				sndS.io.ChargeMemory(f, sndS.buf, 1, false, host.CatUser)
-				sndS.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
+			st.eps[r] = &endpoints{
+				snd: mkSide(links[r], sndNICs[r], "c"),
+				rcv: mkSide(links[r], links[r].Peer(sndNICs[r]), "s"),
 			}
-			// Zero-copy wire path.
-			sndNICi.ChargeDMA(f, sndS.buf, 1, false, tag)
-			li.ChargeWire(f, sndNICi, 1+p.CtrlBytesPerBlock/bs, tag)
-			rcvS.nic.ChargeDMA(f, rcvS.buf, 1, true, tag)
-			// Receiver protocol processing and offload.
-			rcvS.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
-			if cfg.Checksum {
-				rcvS.io.ChargeMemory(f, rcvS.buf, 1, false, host.CatUser)
-				rcvS.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
-			}
-			if err := dst.Attach(f, rcvS.io, rcvS.buf, 1, tag); err != nil {
-				return nil, fmt.Errorf("rftp: sink: %w", err)
-			}
-			return &fluid.Transfer{
-				Flow:       f,
-				Remaining:  remaining,
-				OnComplete: func(now sim.Time) { t.streamDone(st, now) },
-			}, nil
 		}
-		tr, err := st.build(perStream)
+		tr, err := t.buildStream(st, perStream)
 		if err != nil {
 			return nil, err
 		}
@@ -324,13 +418,27 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 		t.streams = append(t.streams, st)
 	}
 
+	// Integrity plane: watch every rail for silent corruption. With
+	// Checksum on, a hit is detected at offload and re-transferred; with
+	// it off, the corrupt block is delivered and only counted.
+	for i := range links {
+		i := i
+		links[i].Watch(func(ev fabric.Event) {
+			if ev.Kind == fabric.EventCorruption {
+				t.corrupted(i)
+			}
+		})
+	}
+
 	if p.recoveryEnabled() {
 		for _, st := range t.streams {
-			st := st
-			st.qp = rdma.NewQP(st.link, p.RDMA)
-			st.qp.OnError = func(now sim.Time, _ rdma.Status) { t.declareLoss(st, now) }
+			st.qp = t.newQP(st)
 		}
 		t.ticker = t.eng.NewTicker(p.AckTimeout/2, t.checkProgress)
+	}
+	if p.Rails.Enabled {
+		t.mgr = railmgr.New(t.eng, links, p.Rails)
+		t.mgr.OnTransition = t.onRailTransition
 	}
 
 	// Session handshake, then data on every stream.
@@ -350,8 +458,65 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 			t.sim.Start(st.transfer)
 			st.lastProgressAt = t.eng.Now()
 		}
+		if t.mgr != nil {
+			t.rebalanceCredits()
+		}
 	})
 	return t, nil
+}
+
+// buildStream recreates the stream's fully-charged fluid flow for a given
+// residual size on its current rail; fluid.Cancel removes the flow from
+// the network, so every retransmission or migration needs a fresh one.
+func (t *Transfer) buildStream(st *stream, remaining float64) (*fluid.Transfer, error) {
+	l := t.links[st.rail]
+	ep := st.eps[st.rail]
+	p, cfg := t.P, t.Cfg
+	bs := float64(cfg.BlockSize)
+	f := t.sim.NewFlow(fmt.Sprintf("rftp/%s/s%d", l.Cfg.Name, st.idx), t.windowCap(l))
+	tag := "rftp"
+	// Data loading (pipelined onto a dedicated I/O thread).
+	if err := t.src.Attach(f, ep.snd.io, ep.snd.buf, 1, tag); err != nil {
+		return nil, fmt.Errorf("rftp: source: %w", err)
+	}
+	// Sender protocol processing: per-byte plus per-block costs.
+	ep.snd.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
+	if cfg.Checksum {
+		ep.snd.io.ChargeMemory(f, ep.snd.buf, 1, false, host.CatUser)
+		ep.snd.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
+	}
+	// Zero-copy wire path.
+	ep.snd.nic.ChargeDMA(f, ep.snd.buf, 1, false, tag)
+	l.ChargeWire(f, ep.snd.nic, 1+p.CtrlBytesPerBlock/bs, tag)
+	ep.rcv.nic.ChargeDMA(f, ep.rcv.buf, 1, true, tag)
+	// Receiver protocol processing and offload.
+	ep.rcv.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
+	if cfg.Checksum {
+		ep.rcv.io.ChargeMemory(f, ep.rcv.buf, 1, false, host.CatUser)
+		ep.rcv.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
+	}
+	if err := t.dst.Attach(f, ep.rcv.io, ep.rcv.buf, 1, tag); err != nil {
+		return nil, fmt.Errorf("rftp: sink: %w", err)
+	}
+	return &fluid.Transfer{
+		Flow:       f,
+		Remaining:  remaining,
+		OnComplete: func(now sim.Time) { t.streamDone(st, now) },
+	}, nil
+}
+
+// newQP creates the stream's reliable connection on its current rail. The
+// error hook is identity-guarded: a QP abandoned by a migration keeps
+// watching its old link, and its late error completions must not disturb
+// the stream's new life on another rail.
+func (t *Transfer) newQP(s *stream) *rdma.QP {
+	q := rdma.NewQP(t.links[s.rail], t.P.RDMA)
+	q.OnError = func(now sim.Time, _ rdma.Status) {
+		if s.qp == q {
+			t.declareLoss(s, now)
+		}
+	}
+	return q
 }
 
 // window is the per-stream credit window in bytes: bytes that may be in
@@ -365,11 +530,12 @@ func (t *Transfer) window() float64 {
 // session with a control round trip.
 func (t *Transfer) streamDone(s *stream, _ sim.Time) {
 	s.done = true
+	s.kind = KindNone
 	s.acked = s.perStream
 	s.remaining = 0
 	t.done++
 	if t.done == len(t.streams) {
-		t.closeSession(s.link)
+		t.closeSession(t.links[s.rail])
 	}
 }
 
@@ -398,12 +564,15 @@ func (t *Transfer) closeSession(l *fabric.Link) {
 	try()
 }
 
-// finish records completion and releases the stall ticker.
+// finish records completion and releases the stall ticker and rail manager.
 func (t *Transfer) finish(now sim.Time) {
 	t.finished = now
 	if t.ticker != nil {
 		t.ticker.Stop()
 		t.ticker = nil
+	}
+	if t.mgr != nil {
+		t.mgr.Stop()
 	}
 	if t.OnComplete != nil {
 		t.OnComplete(now)
@@ -422,7 +591,16 @@ func (t *Transfer) checkProgress(now sim.Time) {
 		if s.done || s.recovering || !s.transfer.Active() {
 			continue
 		}
-		if m := s.transfer.Transferred(); m > s.lastMoved {
+		m := s.transfer.Transferred()
+		// A resumed stream keeps its recovery kind until the new attempt
+		// clears the unacked credit window: until then the stream is
+		// flowing but its exactly-once Transferred() is flat, and an outer
+		// watchdog that dropped the grace here would declare a stall in
+		// the last stretch of a recovery that is actually succeeding.
+		if s.kind != KindNone && m > t.window() {
+			s.kind = KindNone
+		}
+		if m > s.lastMoved {
 			s.lastMoved = m
 			s.lastProgressAt = now
 			continue
@@ -435,12 +613,14 @@ func (t *Transfer) checkProgress(now sim.Time) {
 
 // declareLoss folds a stalled stream's progress — everything beyond the
 // trailing credit window counts as acked, the window itself is declared
-// lost and will be retransmitted — and schedules session re-establishment.
+// lost and will be retransmitted — then either re-establishes on the same
+// rail or, when the rail is dark and rail management is on, fails over.
 func (t *Transfer) declareLoss(s *stream, now sim.Time) {
 	if t.failed || t.stopped || s.done || s.recovering {
 		return
 	}
 	s.recovering = true
+	s.kind = KindRetransmit
 	s.faultAt = now
 	t.sim.Sync()
 	m := s.transfer.Transferred()
@@ -455,8 +635,246 @@ func (t *Transfer) declareLoss(s *stream, now sim.Time) {
 	}
 	t.Retransmitted += lost
 	t.eng.Tracef("rftp", "stream %d on %s lost window: %g bytes to retransmit, resume offset %g",
-		s.idx, s.link.Cfg.Name, lost, s.acked)
+		s.idx, t.links[s.rail].Cfg.Name, lost, s.acked)
+	// A dark rail cannot drain a retransmission; leave it instead of
+	// backing off on it. (Degraded rails never reach here: slow progress
+	// is still progress.)
+	if t.mgr != nil && t.links[s.rail].Fraction() == 0 {
+		t.migrateStream(s, now)
+		return
+	}
 	t.scheduleRecovery(s)
+}
+
+// railUsable reports whether rail r may accept streams right now: alive at
+// the link layer and, once the manager has classified it, admitted by the
+// manager (a restored-but-unprobed rail is not).
+func (t *Transfer) railUsable(r int) bool {
+	if t.links[r].Fraction() == 0 {
+		return false
+	}
+	return t.mgr == nil || t.mgr.State(r).Usable()
+}
+
+// pickRail chooses a failover target for s: the usable rail carrying the
+// fewest live streams, ties to the lowest index — deterministic, so the
+// same fault schedule migrates the same streams to the same rails.
+func (t *Transfer) pickRail(s *stream) (int, bool) {
+	loads := make([]int, len(t.links))
+	for _, o := range t.streams {
+		if !o.done {
+			loads[o.rail]++
+		}
+	}
+	best, found := -1, false
+	for r := range t.links {
+		if r == s.rail || !t.railUsable(r) {
+			continue
+		}
+		if !found || loads[r] < loads[best] {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// migrateStream moves a recovering stream (window already folded) onto a
+// surviving rail and re-establishes there immediately — no backoff: the
+// target rail is healthy, so the only latency is the control round trip.
+// With no usable rail the stream parks on the retry ladder; a re-admitted
+// rail will retarget it.
+func (t *Transfer) migrateStream(s *stream, now sim.Time) {
+	target, ok := t.pickRail(s)
+	if !ok {
+		s.kind = KindFailover
+		t.eng.Tracef("rftp", "stream %d has no usable rail, parking on retry ladder", s.idx)
+		t.scheduleRecovery(s)
+		return
+	}
+	from := s.rail
+	s.rail = target
+	s.kind = KindFailover
+	s.qp = t.newQP(s)
+	t.eng.Tracef("rftp", "stream %d failing over %s -> %s (offset %g)",
+		s.idx, t.links[from].Cfg.Name, t.links[target].Cfg.Name, s.acked)
+	t.attemptResume(s)
+}
+
+// moveStream cleanly migrates an actively-flowing stream to rail target
+// (failback): progress is drained and folded in full — the rail is alive,
+// ACKs arrive during the handover, so nothing is retransmitted and nothing
+// is delivered twice.
+func (t *Transfer) moveStream(s *stream, target int, now sim.Time) {
+	t.sim.Sync()
+	m := s.transfer.Transferred()
+	if s.transfer.Active() {
+		t.sim.Cancel(s.transfer)
+	}
+	s.acked += m
+	if !math.IsInf(s.remaining, 1) {
+		s.remaining -= m
+	}
+	s.recovering = true
+	s.kind = KindFailback
+	s.faultAt = now
+	from := s.rail
+	s.rail = target
+	s.qp = t.newQP(s)
+	t.eng.Tracef("rftp", "stream %d failing back %s -> %s (offset %g, clean)",
+		s.idx, t.links[from].Cfg.Name, t.links[target].Cfg.Name, s.acked)
+	t.attemptResume(s)
+}
+
+// onRailTransition is the rail manager's policy hook.
+func (t *Transfer) onRailTransition(rail int, from, to railmgr.State, now sim.Time) {
+	if t.failed || t.stopped || t.finished > 0 {
+		return
+	}
+	switch {
+	case to == railmgr.Dead:
+		// The QP error path normally beats this (watcher order), but any
+		// stream still bound here — e.g. parked mid-backoff — must leave.
+		for _, s := range t.streams {
+			if s.rail != rail || s.done {
+				continue
+			}
+			if !s.recovering {
+				t.declareLoss(s, now)
+				continue
+			}
+			if tgt, ok := t.pickRail(s); ok {
+				s.rail = tgt
+				s.kind = KindFailover
+				s.qp = t.newQP(s)
+				t.eng.Tracef("rftp", "stream %d retargeted to %s mid-recovery",
+					s.idx, t.links[tgt].Cfg.Name)
+			}
+		}
+	case from == railmgr.Probing && to.Usable():
+		t.failback(now)
+	}
+	t.rebalanceCredits()
+}
+
+// failback spreads streams back toward their home rails after a rail is
+// re-admitted: every stream whose round-robin home is usable and who lives
+// elsewhere migrates home — cleanly if it is flowing, by retarget if it is
+// mid-recovery. Re-running the start-time assignment keeps the layout (and
+// therefore the trace) a pure function of rail state.
+func (t *Transfer) failback(now sim.Time) {
+	for _, s := range t.streams {
+		home := s.idx % len(t.links)
+		if s.done || s.rail == home || !t.railUsable(home) {
+			continue
+		}
+		if s.recovering {
+			s.rail = home
+			s.qp = t.newQP(s)
+			t.eng.Tracef("rftp", "stream %d retargeted home to %s mid-recovery",
+				s.idx, t.links[home].Cfg.Name)
+			continue
+		}
+		t.moveStream(s, home, now)
+	}
+}
+
+// rebalanceCredits shifts the session's conserved credit pool toward
+// healthy rails: each live stream's window cap is scaled by its rail's
+// capacity fraction, normalized so the pool total is unchanged. Under
+// uniform health every scale is 1 and the demands equal the start-time
+// caps. Degradation therefore rebalances but never migrates — a degraded
+// rail still delivers, and credits are cheaper to move than streams.
+func (t *Transfer) rebalanceCredits() {
+	if t.mgr == nil {
+		return
+	}
+	sumFrac, n := 0.0, 0
+	for _, s := range t.streams {
+		if s.done || s.recovering || !s.transfer.Active() {
+			continue
+		}
+		sumFrac += t.links[s.rail].Fraction()
+		n++
+	}
+	if n == 0 || sumFrac <= 0 {
+		return
+	}
+	for _, s := range t.streams {
+		if s.done || s.recovering || !s.transfer.Active() {
+			continue
+		}
+		scale := t.links[s.rail].Fraction() * float64(n) / sumFrac
+		t.sim.SetDemand(s.transfer.Flow, t.windowCap(t.links[s.rail])*scale)
+	}
+}
+
+// corrupted handles a silent bit flip on rail r: it lands on the
+// lowest-index stream flowing there (nothing in flight → no payload hit).
+// The checksum layer catches it at offload and re-transfers the block
+// after a NACK round trip; without the checksum the corrupt block is
+// delivered and only the violation counter knows.
+func (t *Transfer) corrupted(r int) {
+	if t.failed || t.stopped || t.finished > 0 {
+		return
+	}
+	var victim *stream
+	for _, s := range t.streams {
+		if s.rail == r && !s.done && !s.recovering && s.transfer.Active() {
+			victim = s
+			break
+		}
+	}
+	if victim == nil {
+		t.eng.Tracef("rftp", "corruption on %s hit no payload in flight", t.links[r].Cfg.Name)
+		return
+	}
+	now := t.eng.Now()
+	if !t.Cfg.Checksum {
+		t.IntegrityViolations++
+		t.eng.Tracef("rftp", "SILENT corruption on stream %d (%s): corrupt block delivered, no checksum to catch it",
+			victim.idx, t.links[r].Cfg.Name)
+		return
+	}
+	t.sim.Sync()
+	m := victim.transfer.Transferred()
+	if victim.transfer.Active() {
+		t.sim.Cancel(victim.transfer)
+	}
+	bs := math.Min(float64(t.Cfg.BlockSize), m)
+	good := m - bs // everything before the corrupt block is fine
+	victim.acked += good
+	if !math.IsInf(victim.remaining, 1) {
+		victim.remaining -= good
+	}
+	victim.recovering = true
+	victim.kind = KindChecksum
+	victim.faultAt = now
+	t.Retransmitted += bs
+	t.CorruptionsDetected++
+	t.eng.Tracef("rftp", "checksum caught corrupt block on stream %d (%s): %g bytes to re-transfer",
+		victim.idx, t.links[r].Cfg.Name, bs)
+	t.nackRetry(victim)
+}
+
+// nackRetry runs the corrupt-block NACK round trip and resumes. The rail
+// is healthy (corruption does not imply darkness), so a dropped NACK is a
+// coincidence of faults: hand it to the recovery ladder when there is one,
+// else retry after an RTT.
+func (t *Transfer) nackRetry(s *stream) {
+	l := t.links[s.rail]
+	ok := l.Send(t.P.CtrlBytesPerBlock, func(now sim.Time) { t.resume(s, now) })
+	if ok {
+		return
+	}
+	if t.P.recoveryEnabled() {
+		t.scheduleRecovery(s)
+		return
+	}
+	delay := l.RTT()
+	if delay <= 0 {
+		delay = sim.Millisecond
+	}
+	t.eng.Schedule(delay, func() { t.nackRetry(s) })
 }
 
 // scheduleRecovery arms the next recovery attempt with exponential
@@ -484,13 +902,22 @@ func (t *Transfer) scheduleRecovery(s *stream) {
 }
 
 // attemptResume re-establishes the stream session: one control round trip
-// on the link. A drop (link still dark) backs off and tries again.
+// on its rail. In rail mode a stream whose rail died while it waited is
+// retargeted first. A drop (rail still dark) backs off and tries again.
 func (t *Transfer) attemptResume(s *stream) {
 	if t.failed || t.stopped || s.done {
 		return
 	}
-	ok := s.link.Send(t.P.CtrlBytesPerBlock, func(sim.Time) {
-		ok2 := s.link.Send(t.P.CtrlBytesPerBlock, func(now sim.Time) { t.resume(s, now) })
+	if t.mgr != nil && t.links[s.rail].Fraction() == 0 {
+		if tgt, ok := t.pickRail(s); ok {
+			s.rail = tgt
+			s.kind = KindFailover
+			s.qp = t.newQP(s)
+		}
+	}
+	l := t.links[s.rail]
+	ok := l.Send(t.P.CtrlBytesPerBlock, func(sim.Time) {
+		ok2 := l.Send(t.P.CtrlBytesPerBlock, func(now sim.Time) { t.resume(s, now) })
 		if !ok2 {
 			t.scheduleRecovery(s)
 		}
@@ -500,7 +927,8 @@ func (t *Transfer) attemptResume(s *stream) {
 	}
 }
 
-// resume restarts the stream from its acked offset on a fresh flow.
+// resume restarts the stream from its acked offset on a fresh flow on its
+// current rail, crediting the counter matching the recovery kind.
 func (t *Transfer) resume(s *stream, now sim.Time) {
 	if t.failed || t.stopped || s.done {
 		return
@@ -508,7 +936,7 @@ func (t *Transfer) resume(s *stream, now sim.Time) {
 	if s.qp != nil {
 		s.qp.Reset()
 	}
-	tr, err := s.build(s.remaining)
+	tr, err := t.buildStream(s, s.remaining)
 	if err != nil {
 		t.fail(now)
 		return
@@ -519,10 +947,32 @@ func (t *Transfer) resume(s *stream, now sim.Time) {
 	s.retries = 0
 	s.lastMoved = 0
 	s.lastProgressAt = now
-	t.Recoveries++
-	t.recoveryLat = append(t.recoveryLat, sim.Duration(now-s.faultAt))
-	t.eng.Tracef("rftp", "stream %d re-established on %s after %v: offset %g, %g to go",
-		s.idx, s.link.Cfg.Name, sim.Duration(now-s.faultAt), s.acked, s.remaining)
+	lat := sim.Duration(now - s.faultAt)
+	switch s.kind {
+	case KindFailover:
+		t.Migrations++
+		t.migrationLat = append(t.migrationLat, lat)
+		t.eng.Tracef("rftp", "stream %d failed over to %s after %v: offset %g, %g to go",
+			s.idx, t.links[s.rail].Cfg.Name, lat, s.acked, s.remaining)
+	case KindFailback:
+		t.Failbacks++
+		t.eng.Tracef("rftp", "stream %d failed back to %s after %v: offset %g, %g to go",
+			s.idx, t.links[s.rail].Cfg.Name, lat, s.acked, s.remaining)
+	case KindChecksum:
+		t.eng.Tracef("rftp", "stream %d re-transferring corrupt block on %s: offset %g, %g to go",
+			s.idx, t.links[s.rail].Cfg.Name, s.acked, s.remaining)
+	default:
+		t.Recoveries++
+		t.recoveryLat = append(t.recoveryLat, lat)
+		t.eng.Tracef("rftp", "stream %d re-established on %s after %v: offset %g, %g to go",
+			s.idx, t.links[s.rail].Cfg.Name, lat, s.acked, s.remaining)
+	}
+	// s.kind deliberately survives the resume: it is cleared only once the
+	// new attempt makes window-clearing (visible) progress, so outer
+	// watchdogs keep their kind-scaled grace through the recovery's tail.
+	if t.mgr != nil {
+		t.rebalanceCredits()
+	}
 }
 
 // fail gives up after exhausted recovery: tear down and report once.
@@ -538,11 +988,15 @@ func (t *Transfer) fail(now sim.Time) {
 	}
 }
 
-// teardown cancels everything in flight and stops the stall ticker.
+// teardown cancels everything in flight and stops the stall ticker and
+// rail manager.
 func (t *Transfer) teardown() {
 	if t.ticker != nil {
 		t.ticker.Stop()
 		t.ticker = nil
+	}
+	if t.mgr != nil {
+		t.mgr.Stop()
 	}
 	for _, s := range t.streams {
 		if s.pending != nil {
@@ -565,18 +1019,24 @@ func (t *Transfer) windowCap(l *fabric.Link) float64 {
 }
 
 // Transferred returns total payload bytes delivered so far. Without
-// recovery this is the raw fluid progress. With recovery enabled it is the
-// exactly-once delivered count: per stream, acked bytes plus current
-// progress beyond the unacked credit window — never bytes that a later
-// loss declaration could retransmit. It is monotonic, so an outer
-// scheduler may persist it as a resume offset (Params.StartOffset).
+// recovery this is the raw fluid progress (plus any blocks folded by a
+// checksum re-transfer). With recovery enabled it is the exactly-once
+// delivered count: per stream, acked bytes plus current progress beyond
+// the unacked credit window — never bytes that a later loss declaration
+// could retransmit. It is monotonic across retransmissions, migrations and
+// failbacks, so an outer scheduler may persist it as a resume offset
+// (Params.StartOffset).
 func (t *Transfer) Transferred() float64 {
 	t.sim.Sync()
 	sum := 0.0
 	w := t.window()
 	for _, st := range t.streams {
 		if !t.P.recoveryEnabled() {
-			sum += st.transfer.Transferred()
+			if st.done {
+				sum += st.acked
+			} else {
+				sum += st.acked + st.transfer.Transferred()
+			}
 			continue
 		}
 		sum += st.acked
@@ -606,11 +1066,72 @@ func (t *Transfer) Finished() sim.Time { return t.finished }
 // Failed reports whether in-protocol recovery was exhausted.
 func (t *Transfer) Failed() bool { return t.failed }
 
-// RecoveryLatencies returns one sample per successful recovery: virtual
-// time from the loss declaration to the stream flowing again.
+// Rails exposes the transfer's rail manager (nil unless Params.Rails).
+func (t *Transfer) Rails() *railmgr.Manager { return t.mgr }
+
+// ActiveRecovery returns the most expensive recovery kind currently in
+// flight across the streams (KindNone when all are flowing). A stream
+// counts as in flight from its loss declaration until its resumed attempt
+// makes visible (window-clearing) progress — not merely until it resumes —
+// because exactly-once Transferred() stays flat across that whole span.
+func (t *Transfer) ActiveRecovery() RecoveryKind {
+	worst := KindNone
+	for _, s := range t.streams {
+		if !s.done && s.kind > worst {
+			worst = s.kind
+		}
+	}
+	return worst
+}
+
+// SetupBudget returns the virtual time a fresh session may legitimately
+// show zero progress: the handshake round trips on the slowest rail.
+func (t *Transfer) SetupBudget() sim.Duration {
+	var maxRTT sim.Duration
+	for _, l := range t.links {
+		if r := l.RTT(); r > maxRTT {
+			maxRTT = r
+		}
+	}
+	return sim.Duration(t.P.HandshakeRTTs) * maxRTT
+}
+
+// RecoveryGrace returns the extra no-progress allowance an outer watchdog
+// should grant on top of its static budget, as a function of the active
+// recovery kind. A retransmission needs one more detection beat at most; a
+// migration may legitimately pay rail probing, a fresh session handshake,
+// and — when its first target dies under it — a restarted backoff ladder.
+// Zero when nothing is recovering, and bounded always: the watchdog stays
+// armed as the last line of defense.
+func (t *Transfer) RecoveryGrace() sim.Duration {
+	switch t.ActiveRecovery() {
+	case KindNone:
+		return 0
+	case KindRetransmit, KindChecksum:
+		return t.P.AckTimeout + t.P.RetryBackoffMax
+	default: // KindFailover, KindFailback
+		g := t.P.RecoveryBudget() + t.SetupBudget()
+		if t.mgr != nil {
+			g += t.P.Rails.ProbeBudget()
+		}
+		return g
+	}
+}
+
+// RecoveryLatencies returns one sample per successful same-rail recovery:
+// virtual time from the loss declaration to the stream flowing again.
 func (t *Transfer) RecoveryLatencies() []sim.Duration {
 	out := make([]sim.Duration, len(t.recoveryLat))
 	copy(out, t.recoveryLat)
+	return out
+}
+
+// MigrationLatencies returns one sample per completed failover: virtual
+// time from the loss declaration on the dead rail to the stream flowing
+// on its new rail.
+func (t *Transfer) MigrationLatencies() []sim.Duration {
+	out := make([]sim.Duration, len(t.migrationLat))
+	copy(out, t.migrationLat)
 	return out
 }
 

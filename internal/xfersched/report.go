@@ -18,6 +18,8 @@ type TenantStats struct {
 	Lost       int
 	Retries    int
 	Recoveries int     // in-protocol stream recoveries (no requeue)
+	Migrations int     // rail failovers (streams moved off dead rails)
+	Failbacks  int     // streams returned to re-admitted rails
 	Bytes      float64 // delivered bytes of finished jobs
 	MeanWait   float64 // seconds
 	Goodput    float64 // delivered bytes / summed service time
@@ -35,9 +37,14 @@ type Report struct {
 	// re-sent.
 	TotalRecoveries    int
 	TotalRetransmitted float64
-	MaxQueueLen        int
-	MeanWait, P99Wait  float64 // seconds
-	MeanSlowdown       float64
+	// TotalMigrations and TotalFailbacks count rail failovers and
+	// failbacks across all jobs — multipath repairs the transfer layer
+	// made while the scheduler kept the job admitted.
+	TotalMigrations   int
+	TotalFailbacks    int
+	MaxQueueLen       int
+	MeanWait, P99Wait float64 // seconds
+	MeanSlowdown      float64
 	// AggregateGoodput is delivered bytes over the makespan (first submit
 	// to last finish), the service's end-to-end rate.
 	AggregateGoodput float64
@@ -71,9 +78,13 @@ func (s *Scheduler) Report() Report {
 		ts.Jobs++
 		ts.Retries += j.Retries
 		ts.Recoveries += j.Recoveries()
+		ts.Migrations += j.Migrations()
+		ts.Failbacks += j.Failbacks()
 		r.TotalRetries += j.Retries
 		r.TotalRecoveries += j.Recoveries()
 		r.TotalRetransmitted += j.Retransmitted()
+		r.TotalMigrations += j.Migrations()
+		r.TotalFailbacks += j.Failbacks()
 		if j.Submitted < firstSubmit {
 			firstSubmit = j.Submitted
 		}
@@ -141,7 +152,7 @@ func (r Report) TenantTable() *metrics.Table {
 	t := &metrics.Table{
 		Title: "Per-tenant outcomes",
 		Headers: []string{"tenant", "weight", "jobs", "done", "lost", "retries",
-			"recov", "mean wait", "goodput", "slowdown", "missed ddl"},
+			"recov", "migr", "failbk", "mean wait", "goodput", "slowdown", "missed ddl"},
 	}
 	for _, ts := range r.Tenants {
 		t.AddRow(
@@ -152,6 +163,8 @@ func (r Report) TenantTable() *metrics.Table {
 			fmt.Sprintf("%d", ts.Lost),
 			fmt.Sprintf("%d", ts.Retries),
 			fmt.Sprintf("%d", ts.Recoveries),
+			fmt.Sprintf("%d", ts.Migrations),
+			fmt.Sprintf("%d", ts.Failbacks),
 			fmt.Sprintf("%.2fs", ts.MeanWait),
 			units.FormatRate(ts.Goodput),
 			fmt.Sprintf("%.2f", ts.Slowdown),
@@ -166,7 +179,7 @@ func (s *Scheduler) JobTable() *metrics.Table {
 	t := &metrics.Table{
 		Title: "Per-job outcomes",
 		Headers: []string{"job", "tenant", "proto", "size", "prio", "state",
-			"wait", "elapsed", "goodput", "retries", "recov"},
+			"wait", "elapsed", "goodput", "retries", "recov", "migr"},
 	}
 	for _, j := range s.jobs {
 		elapsed, goodput := "-", "-"
@@ -189,6 +202,7 @@ func (s *Scheduler) JobTable() *metrics.Table {
 			goodput,
 			fmt.Sprintf("%d", j.Retries),
 			fmt.Sprintf("%d", j.Recoveries()),
+			fmt.Sprintf("%d", j.Migrations()),
 		)
 	}
 	return t
@@ -198,8 +212,8 @@ func (s *Scheduler) JobTable() *metrics.Table {
 func (r Report) SummaryTable() *metrics.Table {
 	t := &metrics.Table{
 		Title: "Schedule summary",
-		Headers: []string{"jobs", "done", "lost", "retries", "recov", "max queue",
-			"mean wait", "p99 wait", "slowdown", "goodput", "makespan"},
+		Headers: []string{"jobs", "done", "lost", "retries", "recov", "migr",
+			"failbk", "max queue", "mean wait", "p99 wait", "slowdown", "goodput", "makespan"},
 	}
 	t.AddRow(
 		fmt.Sprintf("%d", r.Submitted),
@@ -207,6 +221,8 @@ func (r Report) SummaryTable() *metrics.Table {
 		fmt.Sprintf("%d", r.Lost),
 		fmt.Sprintf("%d", r.TotalRetries),
 		fmt.Sprintf("%d", r.TotalRecoveries),
+		fmt.Sprintf("%d", r.TotalMigrations),
+		fmt.Sprintf("%d", r.TotalFailbacks),
 		fmt.Sprintf("%d", r.MaxQueueLen),
 		fmt.Sprintf("%.2fs", r.MeanWait),
 		fmt.Sprintf("%.2fs", r.P99Wait),

@@ -146,6 +146,8 @@ type Job struct {
 
 	recoveries    int     // in-protocol stream recoveries, folded attempts
 	retransmitted float64 // bytes scheduled for retransmission, folded attempts
+	migrations    int     // rail failovers, folded attempts
+	failbacks     int     // rail failbacks, folded attempts
 	stallBudget   sim.Duration
 
 	lastProgress   float64
@@ -174,6 +176,26 @@ func (j *Job) Retransmitted() float64 {
 		b += j.rt.Retransmitted
 	}
 	return b
+}
+
+// Migrations returns the job's rail failovers across all attempts —
+// streams moved off a dead rail without the scheduler requeueing.
+func (j *Job) Migrations() int {
+	n := j.migrations
+	if j.rt != nil {
+		n += j.rt.Migrations
+	}
+	return n
+}
+
+// Failbacks returns the job's rail failbacks across all attempts —
+// streams returned to a re-admitted rail.
+func (j *Job) Failbacks() int {
+	n := j.failbacks
+	if j.rt != nil {
+		n += j.rt.Failbacks
+	}
+	return n
 }
 
 // Wait returns the admission wait (zero until first start).
@@ -269,32 +291,7 @@ func (c Config) WithRecovery(r core.RecoveryOptions) Config {
 // recovery may legitimately show zero delivered-byte progress: the loss
 // detection window plus every backoff it is allowed to wait out. The
 // watchdog only declares such a job stalled beyond this horizon.
-func recoveryBudget(p rftp.Params) sim.Duration {
-	if p.AckTimeout <= 0 {
-		return 0
-	}
-	b := p.RetryBackoff
-	if b <= 0 {
-		b = 100 * sim.Millisecond
-	}
-	max := p.RetryBackoffMax
-	if max <= 0 {
-		max = 5 * sim.Second
-	}
-	n := p.MaxStreamRetries
-	if n <= 0 {
-		n = 16
-	}
-	d := p.AckTimeout
-	for i := 0; i < n; i++ {
-		if b > max {
-			b = max
-		}
-		d += b
-		b *= 2
-	}
-	return d
-}
+func recoveryBudget(p rftp.Params) sim.Duration { return p.RecoveryBudget() }
 
 // Validate reports config errors.
 func (c Config) Validate() error {
@@ -717,6 +714,15 @@ func (s *Scheduler) check(now sim.Time) {
 		if j.stallBudget > budget {
 			budget = j.stallBudget
 		}
+		// A transfer mid-recovery earns extra grace scaled to what it is
+		// actually doing: a stream migration legitimately pays rail
+		// probing and a fresh handshake that a same-rail retransmission
+		// never does. Requeueing mid-failover would double the damage —
+		// the whole attempt's unacked window is thrown away to redo work
+		// the protocol was seconds from finishing.
+		if j.rt != nil {
+			budget += j.rt.RecoveryGrace()
+		}
 		if sim.Duration(now-j.lastProgressAt) >= budget {
 			s.stall(j, now)
 			stalled = true
@@ -817,6 +823,8 @@ func (j *Job) foldAttempt() {
 	}
 	j.recoveries += j.rt.Recoveries
 	j.retransmitted += j.rt.Retransmitted
+	j.migrations += j.rt.Migrations
+	j.failbacks += j.rt.Failbacks
 	j.rt = nil
 }
 
