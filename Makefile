@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke
+.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,11 @@ bench-smoke:
 failover-smoke:
 	$(GO) run ./cmd/xfersched -jobs 8 -seed 3 -gridftp 0 -kill-rail roce1@2 -corrupt 2 -checksum
 	$(GO) run ./cmd/xfersched -jobs 10 -seed 11 -gridftp 0 -kill-rail roce2@1.5 -corrupt 3 -corruptseed 5 -checksum
+
+# Adaptive-placement gate: the placer and scheduler test suites under the
+# race detector, then the full S4 experiment, whose acceptance checks
+# (auto ≥ 95% of bind, beats every static policy post-kill, bit-identical
+# replay, bounded migrations) panic on violation (CI runs this).
+placer-smoke:
+	$(GO) test -race ./internal/placer ./internal/xfersched
+	$(GO) run ./cmd/e2ebench -run S4

@@ -33,6 +33,7 @@ import (
 	"e2edt/internal/core"
 	"e2edt/internal/fabric"
 	"e2edt/internal/faults"
+	"e2edt/internal/fluid"
 	"e2edt/internal/metrics"
 	"e2edt/internal/railmgr"
 	"e2edt/internal/sim"
@@ -67,6 +68,7 @@ func main() {
 	traceFile := flag.String("trace", "", "replay a job trace file (see xfersched.ParseTrace) instead of generating one")
 	limit := flag.Float64("limit", 7200, "virtual-time budget in seconds")
 	md := flag.Bool("md", false, "emit tables as markdown")
+	utilz := flag.Bool("utilz", false, "dump the end-of-run fluid resource utilization snapshot (loaded resources only)")
 	verbose := flag.Bool("v", false, "include the per-job table")
 	flag.Parse()
 
@@ -175,12 +177,33 @@ func main() {
 	if !plan.Empty() {
 		s.ApplyFaults(plan)
 	}
+	// -utilz samples the solver state on a coarse cadence and keeps the
+	// busiest snapshot: at end of run every flow has completed and the
+	// loads all read zero, which is the one state nobody is debugging.
+	var peak []fluid.ResourceUtil
+	if *utilz {
+		peakLoad := -1.0
+		sampler := sys.Engine().NewTicker(100*sim.Millisecond, func(sim.Time) {
+			us := sys.TB.Sim.Network.Utilization()
+			total := 0.0
+			for _, u := range us {
+				total += u.Share
+			}
+			if total > peakLoad {
+				peakLoad, peak = total, us
+			}
+		})
+		defer sampler.Stop()
+	}
 	done := s.RunToCompletion(sim.Duration(*limit))
 
 	r := s.Report()
 	tables := []*metrics.Table{r.SummaryTable(), r.TenantTable()}
 	if *verbose {
 		tables = append(tables, s.JobTable())
+	}
+	if *utilz {
+		tables = append(tables, utilzTable(peak))
 	}
 	for _, tb := range tables {
 		if *md {
@@ -203,6 +226,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xfersched: virtual-time budget %.0fs exhausted with jobs unfinished\n", *limit)
 		os.Exit(1)
 	}
+}
+
+// utilzTable renders the fluid utilization snapshot, dropping never-loaded
+// resources so the dump stays readable on a testbed with hundreds of cores.
+func utilzTable(us []fluid.ResourceUtil) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Fluid resource utilization (busiest 100ms sample)",
+		Headers: []string{"resource", "capacity", "load", "demand", "share", "saturated"},
+	}
+	for _, u := range us {
+		if u.Load <= 0 && u.Demand <= 0 {
+			continue
+		}
+		sat := ""
+		if u.Saturated() {
+			sat = "yes"
+		}
+		t.AddRow(u.Name, fmt.Sprintf("%.3g", u.Capacity), fmt.Sprintf("%.3g", u.Load),
+			fmt.Sprintf("%.3g", u.Demand), fmt.Sprintf("%.3f", u.Share), sat)
+	}
+	return t
 }
 
 // parseKillRail reads "name@seconds" (e.g. "roce1@5") and resolves the

@@ -8,6 +8,11 @@
 //  3. iSER back end (Figures 7–8): per-node target processes with
 //     mpol-pinned tmpfs avoid cross-socket copies and coherency storms.
 //  4. Full end-to-end transfer: the compounded effect.
+//
+// Each sweep also runs numa.PolicyAuto, where nothing is hand-bound:
+// internal/placer starts from the default spread layout and has to
+// rediscover the paper's tuning online by what-if scoring against the
+// fluid model (see DESIGN.md § Adaptive placement).
 package main
 
 import (
@@ -29,12 +34,16 @@ func main() {
 	log.SetFlags(0)
 
 	fmt.Println("== 1. iperf thread binding (§2.3) ==")
-	for _, pol := range []numa.Policy{numa.PolicyDefault, numa.PolicyBind} {
+	for _, pol := range []numa.Policy{numa.PolicyDefault, numa.PolicyBind, numa.PolicyAuto} {
 		p := testbed.NewMotivatingPair()
 		cfg := iperf.DefaultConfig()
 		cfg.Policy = pol
 		rep := iperf.Run(p.Links, cfg)
-		fmt.Printf("  %-8s %s\n", pol, units.FormatRate(rep.Aggregate))
+		note := ""
+		if pol == numa.PolicyAuto {
+			note = fmt.Sprintf("  (%d placements, %d migrations)", rep.Placements, rep.Migrations)
+		}
+		fmt.Printf("  %-8s %s%s\n", pol, units.FormatRate(rep.Aggregate), note)
 	}
 
 	fmt.Println("\n== 2. STREAM Triad placement (§2.3) ==")
@@ -54,7 +63,7 @@ func main() {
 	fmt.Print(res.Tables[0].String())
 
 	fmt.Println("\n== 4. end-to-end compound effect ==")
-	for _, pol := range []numa.Policy{numa.PolicyDefault, numa.PolicyBind} {
+	for _, pol := range []numa.Policy{numa.PolicyDefault, numa.PolicyBind, numa.PolicyAuto} {
 		opt := core.DefaultOptions()
 		opt.Policy = pol
 		sys, err := core.NewSystem(opt)
@@ -68,6 +77,11 @@ func main() {
 			log.Fatal(err)
 		}
 		sys.Engine().RunFor(20)
-		fmt.Printf("  %-8s RFTP end-to-end %s\n", pol, units.FormatRate(tr.Transferred()/20))
+		note := ""
+		if sys.Placer != nil {
+			note = fmt.Sprintf("  (%d placements, %d migrations)",
+				sys.Placer.Placements(), sys.Placer.Migrations())
+		}
+		fmt.Printf("  %-8s RFTP end-to-end %s%s\n", pol, units.FormatRate(tr.Transferred()/20), note)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"e2edt/internal/iser"
 	"e2edt/internal/numa"
 	"e2edt/internal/pipe"
+	"e2edt/internal/placer"
 	"e2edt/internal/railmgr"
 	"e2edt/internal/rftp"
 	"e2edt/internal/sim"
@@ -149,6 +150,12 @@ type System struct {
 	TB  *testbed.LAN
 	// A is the sender side, B the receiver side (forward direction).
 	A, B *Side
+	// Placer is the adaptive placement engine, present only under
+	// numa.PolicyAuto: iSER target worker pools, SAN initiator threads and
+	// every RFTP stream endpoint launched through the System register with
+	// it, so thread pins and buffer homes converge at runtime instead of
+	// being fixed at assembly.
+	Placer *placer.Engine
 }
 
 // Direction selects which front end sends.
@@ -181,20 +188,23 @@ func NewSystem(opt Options) (*System, error) {
 	}
 	tb := testbed.NewLAN()
 	sys := &System{Opt: opt, TB: tb}
+	if opt.Policy == numa.PolicyAuto {
+		sys.Placer = placer.New(tb.Sender.Sim, placer.DefaultConfig())
+	}
 
 	var err error
-	sys.A, err = buildSide(opt, tb, tb.Sender, tb.SrcStore, tb.SrcSAN)
+	sys.A, err = buildSide(opt, tb, sys.Placer, tb.Sender, tb.SrcStore, tb.SrcSAN)
 	if err != nil {
 		return nil, err
 	}
-	sys.B, err = buildSide(opt, tb, tb.Receiver, tb.DstStore, tb.DstSAN)
+	sys.B, err = buildSide(opt, tb, sys.Placer, tb.Receiver, tb.DstStore, tb.DstSAN)
 	if err != nil {
 		return nil, err
 	}
 	return sys, nil
 }
 
-func buildSide(opt Options, tb *testbed.LAN, front, store *host.Host, san []*fabric.Link) (*Side, error) {
+func buildSide(opt Options, tb *testbed.LAN, pl *placer.Engine, front, store *host.Host, san []*fabric.Link) (*Side, error) {
 	tgt := iscsi.NewTarget(store.Name, store, opt.TargetCfg)
 	for i := 0; i < opt.LUNs; i++ {
 		var dev blockdev.Device
@@ -218,6 +228,26 @@ func buildSide(opt Options, tb *testbed.LAN, front, store *host.Host, san []*fab
 		portals[i] = iser.PortalFor(l, store)
 	}
 	mover := iser.NewMover(portals, initProc.NewThread(), tgt, opt.ISER)
+	if pl != nil {
+		// Each LUN's worker pool (threads + RDMA bounce buffers) is one
+		// placement unit — the daemon the paper pins per node with numactl;
+		// the initiator thread is another. SAN command flows report through
+		// the mover so the engine can score and migrate them.
+		for i := 0; i < opt.LUNs; i++ {
+			ws := tgt.Workers(i)
+			threads := make([]*host.Thread, len(ws))
+			bufs := make([]*numa.Buffer, len(ws))
+			for j, w := range ws {
+				threads[j] = w.Thread
+				bufs[j] = w.Bounce
+			}
+			pl.AddEntity(fmt.Sprintf("%s-lun%d", store.Name, i),
+				store.M, threads, bufs, float64(len(ws))*4*float64(units.MB))
+		}
+		pl.AddEntity(fmt.Sprintf("%s-initiator", front.Name),
+			front.M, []*host.Thread{mover.InitThread}, nil, 0)
+		mover.Placer = pl
+	}
 	sess := iscsi.NewSession(tgt, mover)
 	if opt.Recovery.Enabled {
 		sess.MaxReplays = opt.Recovery.MaxReplays
@@ -272,6 +302,9 @@ func (s *System) StartRFTPOn(dir Direction, cfg rftp.Config, p rftp.Params,
 		return nil, fmt.Errorf("core: transfer needs source and destination files")
 	}
 	snd, _ := s.ends(dir)
+	if s.Placer != nil && cfg.Placer == nil {
+		cfg.Placer = s.Placer
+	}
 	src := pipe.FileReader{File: srcFile, Direct: true}
 	dst := pipe.FileWriter{File: dstFile, Direct: true}
 	return rftp.Start(s.TB.FrontLinks, snd.Front, cfg, s.Opt.Recovery.ApplyRFTP(p), src, dst, size, onDone)
@@ -286,6 +319,9 @@ func (s *System) StartRFTPSet(dir Direction, cfg rftp.Config, p rftp.Params,
 	snd, rcv := s.ends(dir)
 	if total := rftp.TotalBytes(files); total > float64(snd.Dataset.Size) {
 		return nil, fmt.Errorf("core: file set (%d bytes) exceeds dataset size", int64(total))
+	}
+	if s.Placer != nil && cfg.Placer == nil {
+		cfg.Placer = s.Placer
 	}
 	src := pipe.FileReader{File: snd.Dataset, Direct: true}
 	dst := pipe.FileWriter{File: rcv.Output, Direct: true}

@@ -368,6 +368,45 @@ func (n *Network) snapshot() {
 // in place, or swapping a Usage's Resource.
 func (n *Network) Invalidate() { n.solved = false }
 
+// ResourceUtil is one resource's slice of a Utilization snapshot.
+type ResourceUtil struct {
+	Name     string
+	Capacity float64 // resource units per second
+	Load     float64 // solved aggregate consumption
+	Demand   float64 // offered load Σ coeff×flow.Demand; +Inf if any user is unbounded
+	Share    float64 // Load/Capacity; 0 for zero-capacity resources
+}
+
+// Saturated reports whether the resource is the (or a) binding constraint:
+// its solved load sits at capacity within solver tolerance.
+func (u ResourceUtil) Saturated() bool {
+	return u.Capacity > 0 && u.Load >= u.Capacity*(1-1e-9)
+}
+
+// Utilization returns a per-resource snapshot of the current allocation in
+// registration order: solved load against capacity, plus the offered demand
+// (what the flows would consume if every demand cap were met). It reads the
+// last-solved state and does not itself re-solve; callers that mutated the
+// network should Resolve (or Sim.Refresh) first. This is the placer's
+// sensor and the -utilz bottleneck-attribution dump.
+func (n *Network) Utilization() []ResourceUtil {
+	out := make([]ResourceUtil, len(n.resources))
+	for i, r := range n.resources {
+		out[i] = ResourceUtil{
+			Name:     r.Name,
+			Capacity: r.Capacity,
+			Load:     r.load,
+			Share:    r.Utilization(),
+		}
+	}
+	for _, f := range n.flows {
+		for _, u := range f.Uses {
+			out[u.Resource.index].Demand += u.Coeff * f.Demand
+		}
+	}
+	return out
+}
+
 // Stats returns counters describing how Resolve calls were satisfied.
 func (n *Network) Stats() SolverStats { return n.stats }
 

@@ -485,3 +485,77 @@ func TestSolvePropertyRemovalRaisesFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Utilization must report the last-solved state per resource, in
+// registration order: solved load and share, plus the offered demand
+// (coefficient-weighted, +Inf when any user is unbounded).
+func TestUtilizationSnapshot(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddResource("a", 100)
+	b := n.AddResource("b", 200)
+	n.AddResource("idle", 50)
+	f1 := n.NewFlow("f1", 30) // demand-capped
+	f1.Use(a, 1)
+	f2 := n.NewFlow("f2", math.Inf(1)) // fills what f1 leaves
+	f2.Use(a, 1)
+	f2.Use(b, 2)
+	n.Solve()
+
+	us := n.Utilization()
+	if len(us) != 3 {
+		t.Fatalf("got %d resources, want 3", len(us))
+	}
+	if us[0].Name != "a" || us[1].Name != "b" || us[2].Name != "idle" {
+		t.Fatalf("not registration order: %v %v %v", us[0].Name, us[1].Name, us[2].Name)
+	}
+	// a carries f1 (30) + f2 (70): full.
+	if !almostEqual(us[0].Load, 100, 1e-9) || !almostEqual(us[0].Share, 1, 1e-9) {
+		t.Fatalf("a: load=%v share=%v, want 100, 1", us[0].Load, us[0].Share)
+	}
+	if !us[0].Saturated() {
+		t.Fatal("a should be saturated")
+	}
+	// b carries 2×f2 = 140 of 200.
+	if !almostEqual(us[1].Load, 140, 1e-9) || !almostEqual(us[1].Share, 0.7, 1e-9) {
+		t.Fatalf("b: load=%v share=%v, want 140, 0.7", us[1].Load, us[1].Share)
+	}
+	if us[1].Saturated() {
+		t.Fatal("b must not read as saturated at 70%")
+	}
+	// Offered demand: a sees 30 from f1 plus unbounded f2.
+	if !math.IsInf(us[0].Demand, 1) || !math.IsInf(us[1].Demand, 1) {
+		t.Fatalf("a/b demand = %v/%v, want +Inf (f2 unbounded)", us[0].Demand, us[1].Demand)
+	}
+	if us[2].Load != 0 || us[2].Demand != 0 || us[2].Share != 0 {
+		t.Fatalf("idle resource should read zero, got %+v", us[2])
+	}
+
+	// Bounded-only demand stays finite and coefficient-weighted.
+	f2.Demand = 10
+	n.Solve()
+	us = n.Utilization()
+	if !almostEqual(us[0].Demand, 40, 1e-9) { // 30 + 10
+		t.Fatalf("a demand = %v, want 40", us[0].Demand)
+	}
+	if !almostEqual(us[1].Demand, 20, 1e-9) { // 2 × 10
+		t.Fatalf("b demand = %v, want 20", us[1].Demand)
+	}
+}
+
+// Utilization reads the snapshot without re-solving: a mutated-but-unsolved
+// network still reports the previous allocation.
+func TestUtilizationDoesNotResolve(t *testing.T) {
+	n := NewNetwork()
+	r := n.AddResource("r", 100)
+	f := n.NewFlow("f", math.Inf(1))
+	f.Use(r, 1)
+	n.Solve()
+	f.Demand = 10 // not yet solved
+	if got := n.Utilization()[0].Load; !almostEqual(got, 100, 1e-9) {
+		t.Fatalf("load = %v, want the stale 100 until the next Solve", got)
+	}
+	n.Solve()
+	if got := n.Utilization()[0].Load; !almostEqual(got, 10, 1e-9) {
+		t.Fatalf("load after re-solve = %v, want 10", got)
+	}
+}

@@ -255,6 +255,17 @@ func (s *Sim) ResetUsage() {
 // ActiveTransfers returns the number of in-flight transfers.
 func (s *Sim) ActiveTransfers() int { return len(s.active) }
 
+// Refresh accrues progress, forces a from-scratch re-solve and reschedules
+// the next completion event. It is the entry point for callers that edited
+// flow Uses in place (re-homed buffers, re-pinned threads): those edits are
+// invisible to the incremental dirty scan, so the network must be
+// invalidated before rates are recomputed.
+func (s *Sim) Refresh() {
+	s.Sync()
+	s.Network.Invalidate()
+	s.reschedule()
+}
+
 // reschedule re-solves rates (when something actually changed — see
 // Network.Resolve) and schedules the next completion event. Callers must
 // Sync first.

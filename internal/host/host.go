@@ -115,6 +115,13 @@ func (p *Process) NewThread() *Thread {
 	return t
 }
 
+// Pin binds the thread to a specific core (sched_setaffinity); nil unpins
+// it back to the migrating-scheduler model. Pinning only changes where
+// future ChargeCPU calls land — flows already charged keep their old
+// coefficients until rebuilt, and rebuilders must invalidate the fluid
+// network afterwards (see numa.Buffer.Rehome).
+func (t *Thread) Pin(c *numa.Core) { t.Core = c }
+
 // Node returns the node the thread executes on, nil when unbound.
 func (t *Thread) Node() *numa.Node {
 	if t.Core != nil {

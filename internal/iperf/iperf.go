@@ -18,8 +18,10 @@ import (
 	"e2edt/internal/fluid"
 	"e2edt/internal/host"
 	"e2edt/internal/numa"
+	"e2edt/internal/placer"
 	"e2edt/internal/sim"
 	"e2edt/internal/tcpstack"
+	"e2edt/internal/units"
 )
 
 // Config parameterizes a run.
@@ -65,6 +67,10 @@ type Report struct {
 	PerStream []float64
 	// Elapsed is the measurement window in seconds.
 	Elapsed float64
+	// Placements and Migrations count adaptive-placer commits (PolicyAuto
+	// runs only; zero otherwise).
+	Placements int
+	Migrations int
 }
 
 // Run executes iperf over the given links and returns the measured report.
@@ -79,6 +85,14 @@ func Run(links []*fabric.Link, cfg Config) Report {
 	}
 	s := links[0].Sim()
 	eng := links[0].Engine()
+
+	// Under PolicyAuto an adaptive engine places each stream's endpoints at
+	// runtime; threads start unpinned and buffers interleaved, exactly like
+	// PolicyDefault, and converge from there.
+	var auto *placer.Engine
+	if cfg.Policy == numa.PolicyAuto {
+		auto = placer.New(s, placer.DefaultConfig())
+	}
 
 	var transfers []*fluid.Transfer
 	mkStream := func(l *fabric.Link, from *host.Device) {
@@ -112,6 +126,20 @@ func Run(links []*fabric.Link, cfg Config) Report {
 			}
 			tr := conn.Stream(1e30, opt, nil)
 			transfers = append(transfers, tr)
+			if auto != nil {
+				var sndBufs []*numa.Buffer
+				if opt.SrcBuf != nil {
+					sndBufs = append(sndBufs, opt.SrcBuf)
+				}
+				// The cache-defeating source buffer's hot working set is
+				// what a lazy page migration actually copies.
+				auto.AddEntity(fmt.Sprintf("iperf-c/%s/%d", l.Cfg.Name, i),
+					sndHost.M, []*host.Thread{snd}, sndBufs, 64*float64(units.MB))
+				auto.AddEntity(fmt.Sprintf("iperf-s/%s/%d", l.Cfg.Name, i),
+					rcvHost.M, []*host.Thread{rcv}, nil, 0)
+				o := opt
+				auto.Track(tr.Flow, func(f *fluid.Flow) { conn.Recharge(f, o) })
+			}
 		}
 	}
 
@@ -130,7 +158,14 @@ func Run(links []*fabric.Link, cfg Config) Report {
 		bw := tr.Transferred() / float64(cfg.Duration)
 		rep.PerStream = append(rep.PerStream, bw)
 		rep.Aggregate += bw
+		if auto != nil {
+			auto.Untrack(tr.Flow)
+		}
 		s.Cancel(tr)
+	}
+	if auto != nil {
+		rep.Placements = auto.Placements()
+		rep.Migrations = auto.Migrations()
 	}
 	return rep
 }

@@ -19,6 +19,7 @@ package iscsi
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"e2edt/internal/blockdev"
 	"e2edt/internal/fluid"
@@ -213,12 +214,15 @@ func bounceBuffer(th *host.Thread, name string) *numa.Buffer {
 	return m.InterleavedBuffer(name)
 }
 
-// LUNs returns the exported LUN ids in arbitrary order.
+// LUNs returns the exported LUNs sorted by id. The order is part of the
+// contract: callers register flows and placement entities in this order,
+// and replay determinism depends on it.
 func (t *Target) LUNs() []*LUN {
 	out := make([]*LUN, 0, len(t.luns))
 	for _, st := range t.luns {
 		out = append(out, st.lun)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

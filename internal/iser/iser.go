@@ -20,6 +20,7 @@ import (
 	"e2edt/internal/host"
 	"e2edt/internal/iscsi"
 	"e2edt/internal/numa"
+	"e2edt/internal/placer"
 	"e2edt/internal/rdma"
 	"e2edt/internal/sim"
 )
@@ -81,6 +82,11 @@ type Mover struct {
 	// Target supplies the contention model for worker copies.
 	Target *iscsi.Target
 	P      Params
+
+	// Placer, when non-nil, is the adaptive placement engine: every Move
+	// flow is tracked so the engine can rebuild its cost coefficients as
+	// workers are pinned and buffers re-homed.
+	Placer *placer.Engine
 
 	sim  *fluid.Sim
 	eng  *sim.Engine
@@ -165,8 +171,13 @@ func (m *Mover) AttachPath(f *fluid.Flow, op iscsi.Op, lunID int, initBuf *numa.
 	contention := m.Target.ContentionMultiplier()
 	mem := lun.Dev.MemoryBuffer()
 	per := share / float64(len(workers))
-	for _, w := range workers {
-		p := m.pick(w)
+	for i, w := range workers {
+		// Portal choice is a pure function of (worker placement, index):
+		// NUMA-affine when pinned, round-robin by worker index otherwise.
+		// No shared counter — the adaptive placer re-runs this body when
+		// rebuilding a flow's coefficients, and a stateful pick would make
+		// replays diverge.
+		p := m.route(w, i)
 		switch op {
 		case iscsi.OpRead:
 			if mem != nil {
@@ -214,16 +225,33 @@ func (m *Mover) SendPDU(size float64, toTarget bool, fn func(now sim.Time, ok bo
 // worker is bound and a local NIC exists (the paper's per-node link
 // routing), round-robin otherwise.
 func (m *Mover) pick(w *iscsi.Worker) Portal {
-	if node := w.Thread.Node(); node != nil {
-		for _, p := range m.Portals {
-			if p.TgtNIC.Node == node {
-				return p
-			}
-		}
+	if p, ok := m.affine(w); ok {
+		return p
 	}
 	p := m.Portals[m.next%len(m.Portals)]
 	m.next++
 	return p
+}
+
+// affine returns the portal whose target NIC shares the worker's node.
+func (m *Mover) affine(w *iscsi.Worker) (Portal, bool) {
+	if node := w.Thread.Node(); node != nil {
+		for _, p := range m.Portals {
+			if p.TgtNIC.Node == node {
+				return p, true
+			}
+		}
+	}
+	return Portal{}, false
+}
+
+// route is pick without the shared round-robin counter: NUMA-affine when
+// possible, otherwise indexed by i. Safe to call from placer rebuilds.
+func (m *Mover) route(w *iscsi.Worker, i int) Portal {
+	if p, ok := m.affine(w); ok {
+		return p
+	}
+	return m.Portals[i%len(m.Portals)]
 }
 
 // Move implements iscsi.Mover: it builds one fluid flow carrying the
@@ -236,7 +264,46 @@ func (m *Mover) Move(cmd *iscsi.Command, lun *iscsi.LUN, w *iscsi.Worker, onDone
 		tag = "iser"
 	}
 	f := m.sim.NewFlow(fmt.Sprintf("iser/%s/lun%d/%s", cmd.Op, lun.ID, tag), math.Inf(1))
+	m.chargeMove(f, cmd, lun, w, p)
+	if m.Placer != nil {
+		// Rebuilds re-derive the charges from current placement; the
+		// portal upgrades to the worker's NUMA-affine one once the placer
+		// pins it, and otherwise stays the captured original (never the
+		// shared round-robin counter, which would diverge replays).
+		m.Placer.Track(f, func(f *fluid.Flow) {
+			route := p
+			if aff, ok := m.affine(w); ok {
+				route = aff
+			}
+			m.chargeMove(f, cmd, lun, w, route)
+		})
+	}
 
+	delay := p.Link.OneWayDelay() + m.P.RDMA.OpLatency
+	m.eng.Schedule(m.P.RDMA.OpLatency, func() {
+		m.sim.Start(&fluid.Transfer{
+			Flow:      f,
+			Remaining: float64(cmd.Length),
+			OnComplete: func(sim.Time) {
+				if m.Placer != nil {
+					m.Placer.Untrack(f)
+				}
+				m.Moved += float64(cmd.Length)
+				m.eng.Schedule(delay, func() { onDone(m.eng.Now()) })
+			},
+		})
+	})
+}
+
+// chargeMove attaches one command's full iSER cost structure to f: the
+// worker copy (or media I/O) on the target, RDMA DMA at both NICs, the
+// wire, initiator kernel handling, and any caller-attached charges. It is
+// a pure function of current placement state, re-runnable by the placer.
+func (m *Mover) chargeMove(f *fluid.Flow, cmd *iscsi.Command, lun *iscsi.LUN, w *iscsi.Worker, p Portal) {
+	tag := cmd.Tag
+	if tag == "" {
+		tag = "iser"
+	}
 	contention := m.Target.ContentionMultiplier()
 	mem := lun.Dev.MemoryBuffer()
 	switch cmd.Op {
@@ -275,16 +342,4 @@ func (m *Mover) Move(cmd *iscsi.Command, lun *iscsi.LUN, w *iscsi.Worker, onDone
 	if cmd.Charge != nil {
 		cmd.Charge(f)
 	}
-
-	delay := p.Link.OneWayDelay() + m.P.RDMA.OpLatency
-	m.eng.Schedule(m.P.RDMA.OpLatency, func() {
-		m.sim.Start(&fluid.Transfer{
-			Flow:      f,
-			Remaining: float64(cmd.Length),
-			OnComplete: func(sim.Time) {
-				m.Moved += float64(cmd.Length)
-				m.eng.Schedule(delay, func() { onDone(m.eng.Now()) })
-			},
-		})
-	})
 }

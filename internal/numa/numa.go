@@ -38,6 +38,10 @@ const (
 	// PolicyInterleave spreads a buffer's pages round-robin across nodes:
 	// accesses are uniformly 1/nodes local.
 	PolicyInterleave
+	// PolicyAuto starts unpinned (like PolicyDefault) and hands placement to
+	// the adaptive engine in internal/placer, which pins threads and re-homes
+	// buffers at runtime by what-if scoring against the fluid model.
+	PolicyAuto
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +53,8 @@ func (p Policy) String() string {
 		return "bind"
 	case PolicyInterleave:
 		return "interleave"
+	case PolicyAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -217,6 +223,10 @@ func (m *Machine) RemoteFraction(p Policy) float64 {
 	case PolicyInterleave:
 		// Data is spread over all nodes; from any core (n-1)/n is remote.
 		return (n - 1) / n
+	case PolicyAuto:
+		// Auto starts unpinned; once the placer converges all accesses are
+		// local, but the static expectation (before placement) is default.
+		return (n - 1) / n
 	default:
 		return (n - 1) / n
 	}
@@ -235,12 +245,32 @@ func (m *Machine) NewBuffer(name string, homes ...*Node) *Buffer {
 	if len(homes) == 0 {
 		panic("numa: buffer needs at least one home node")
 	}
-	return &Buffer{Name: name, Homes: homes}
+	// Copy: homes may alias a caller-owned slice (InterleavedBuffer passes
+	// m.Nodes), and Rehome mutates Homes in place.
+	return &Buffer{Name: name, Homes: append([]*Node(nil), homes...)}
 }
 
 // InterleavedBuffer creates a buffer spread across all nodes.
 func (m *Machine) InterleavedBuffer(name string) *Buffer {
 	return m.NewBuffer(name, m.Nodes...)
+}
+
+// Rehome retargets the buffer onto a new set of home nodes, modelling a
+// page migration (move_pages / mbind with MPOL_MF_MOVE). Only the placement
+// metadata changes here; the page-copy traffic itself is the migration
+// executor's job (internal/placer charges it through the fluid network).
+// Flows already charged against the old homes are unaffected until their
+// coefficients are rebuilt — and the incremental solver cannot see in-place
+// coefficient edits, so rebuilders must call Network.Invalidate (or
+// Sim.Refresh) afterwards.
+func (b *Buffer) Rehome(homes ...*Node) {
+	if len(homes) == 0 {
+		panic("numa: Rehome needs at least one home node")
+	}
+	// Three-index slice forces a fresh array: reusing b.Homes[:0] would write
+	// through any alias of the old backing array (and misbehave when homes
+	// itself aliases b.Homes).
+	b.Homes = append(b.Homes[:0:0], homes...)
 }
 
 // Local reports whether the buffer lives entirely on node n.

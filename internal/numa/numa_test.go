@@ -431,3 +431,69 @@ func TestSnoopTrafficOnRemoteWrites(t *testing.T) {
 		}
 	}
 }
+
+// A one-node machine has nowhere remote to go: every policy must report a
+// zero remote fraction, including the ones whose formula divides by node
+// count.
+func TestRemoteFractionSingleNode(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 1
+	m, err := New(fluid.NewSim(sim.NewEngine()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{PolicyDefault, PolicyBind, PolicyInterleave, PolicyAuto} {
+		if got := m.RemoteFraction(p); got != 0 {
+			t.Fatalf("%v remote fraction on 1 node = %v, want 0", p, got)
+		}
+	}
+}
+
+// Interleaved data puts 1/n of the pages under the reader's own controller
+// regardless of where the reader is pinned, so the remote fraction is
+// (n-1)/n and must scale with the node count.
+func TestRemoteFractionInterleaveScales(t *testing.T) {
+	for _, nodes := range []int{2, 4} {
+		cfg := testConfig()
+		cfg.Nodes = nodes
+		m, err := New(fluid.NewSim(sim.NewEngine()), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(nodes-1) / float64(nodes)
+		if got := m.RemoteFraction(PolicyInterleave); got != want {
+			t.Fatalf("interleave remote fraction on %d nodes = %v, want %v", nodes, got, want)
+		}
+	}
+}
+
+// Rehoming a buffer must never write through to the slice its homes were
+// built from. InterleavedBuffer seeds Homes from m.Nodes; before the copy in
+// NewBuffer, the first Rehome overwrote m.Nodes[0] in place and node 0
+// vanished from the machine.
+func TestRehomeDoesNotAliasMachineNodes(t *testing.T) {
+	_, m := newMachine(t)
+	n0, n1 := m.Node(0), m.Node(1)
+	b := m.InterleavedBuffer("b")
+	b.Rehome(n1)
+	if m.Node(0) != n0 || m.Node(1) != n1 {
+		t.Fatalf("Rehome corrupted machine nodes: [%p %p], want [%p %p]",
+			m.Node(0), m.Node(1), n0, n1)
+	}
+	if len(b.Homes) != 1 || b.Homes[0] != n1 {
+		t.Fatalf("Homes = %v, want [node1]", b.Homes)
+	}
+	// Self-aliasing rehome: new homes drawn from the current Homes slice.
+	b2 := m.NewBuffer("b2", n0, n1)
+	b2.Rehome(b2.Homes[1])
+	if len(b2.Homes) != 1 || b2.Homes[0] != n1 {
+		t.Fatalf("self-aliased Rehome: Homes = %v, want [node1]", b2.Homes)
+	}
+	// The caller's slice stays untouched too.
+	homes := []*Node{n0, n1}
+	b3 := m.NewBuffer("b3", homes...)
+	b3.Rehome(n1)
+	if homes[0] != n0 || homes[1] != n1 {
+		t.Fatal("Rehome wrote through the caller's homes slice")
+	}
+}

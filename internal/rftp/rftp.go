@@ -40,6 +40,7 @@ import (
 	"e2edt/internal/host"
 	"e2edt/internal/numa"
 	"e2edt/internal/pipe"
+	"e2edt/internal/placer"
 	"e2edt/internal/railmgr"
 	"e2edt/internal/rdma"
 	"e2edt/internal/sim"
@@ -155,6 +156,12 @@ type Config struct {
 	// this guards the storage path — and it is the only layer that can
 	// catch a silent bit flip the link CRC missed).
 	Checksum bool
+	// Placer, when non-nil and Policy is numa.PolicyAuto, manages the
+	// session's thread pinning and staging-buffer homes at runtime: every
+	// side becomes a placement entity and every stream flow is tracked so
+	// the engine can what-if alternative layouts and migrate. Ignored for
+	// static policies.
+	Placer *placer.Engine
 }
 
 // DefaultConfig returns the tuned LAN configuration.
@@ -369,7 +376,7 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 			return nil, fmt.Errorf("rftp: sender %s not on link %s", senderHost.Name, l.Cfg.Name)
 		}
 	}
-	mkSide := func(l *fabric.Link, nic *host.Device, role string) side {
+	mkSide := func(l *fabric.Link, nic *host.Device, role string, idx int) side {
 		h := nic.Host
 		var proc *host.Process
 		if cfg.Policy == numa.PolicyBind {
@@ -384,6 +391,13 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 			buf = h.M.NewBuffer("rftp-stage", node)
 		} else {
 			buf = h.M.InterleavedBuffer("rftp-stage")
+		}
+		if pl := t.placer(); pl != nil {
+			// Each side is one placement unit: both its threads plus the
+			// registered staging buffer move together. A migration re-copies
+			// the in-flight credit window held in the stage buffer.
+			pl.AddEntity(fmt.Sprintf("rftp-%s/%s/s%d", role, l.Cfg.Name, idx),
+				h.M, []*host.Thread{net, io}, []*numa.Buffer{buf}, t.window())
 		}
 		return side{nic: nic, net: net, io: io, buf: buf}
 	}
@@ -406,8 +420,8 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 				continue
 			}
 			st.eps[r] = &endpoints{
-				snd: mkSide(links[r], sndNICs[r], "c"),
-				rcv: mkSide(links[r], links[r].Peer(sndNICs[r]), "s"),
+				snd: mkSide(links[r], sndNICs[r], "c", i),
+				rcv: mkSide(links[r], links[r].Peer(sndNICs[r]), "s", i),
 			}
 		}
 		tr, err := t.buildStream(st, perStream)
@@ -470,14 +484,40 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 // the network, so every retransmission or migration needs a fresh one.
 func (t *Transfer) buildStream(st *stream, remaining float64) (*fluid.Transfer, error) {
 	l := t.links[st.rail]
-	ep := st.eps[st.rail]
+	f := t.sim.NewFlow(fmt.Sprintf("rftp/%s/s%d", l.Cfg.Name, st.idx), t.windowCap(l))
+	if err := t.chargeStream(f, st, st.rail); err != nil {
+		return nil, err
+	}
+	tr := &fluid.Transfer{
+		Flow:       f,
+		Remaining:  remaining,
+		OnComplete: func(now sim.Time) { t.streamDone(st, now) },
+	}
+	if pl := t.placer(); pl != nil {
+		rail := st.rail
+		pl.Track(f, func(fl *fluid.Flow) {
+			// Re-derive every charge from the endpoints' current placement.
+			// The rail is the one the flow was built on: a rail change
+			// always goes through a fresh flow, never a rebuild.
+			_ = t.chargeStream(fl, st, rail)
+		})
+	}
+	return tr, nil
+}
+
+// chargeStream attaches the full RFTP cost structure for st's endpoints on
+// the given rail to f. It is a pure function of current placement state
+// (thread pins, buffer homes), so the adaptive placer can clear f.Uses and
+// re-run it to evaluate or commit an alternative layout.
+func (t *Transfer) chargeStream(f *fluid.Flow, st *stream, rail int) error {
+	l := t.links[rail]
+	ep := st.eps[rail]
 	p, cfg := t.P, t.Cfg
 	bs := float64(cfg.BlockSize)
-	f := t.sim.NewFlow(fmt.Sprintf("rftp/%s/s%d", l.Cfg.Name, st.idx), t.windowCap(l))
 	tag := "rftp"
 	// Data loading (pipelined onto a dedicated I/O thread).
 	if err := t.src.Attach(f, ep.snd.io, ep.snd.buf, 1, tag); err != nil {
-		return nil, fmt.Errorf("rftp: source: %w", err)
+		return fmt.Errorf("rftp: source: %w", err)
 	}
 	// Sender protocol processing: per-byte plus per-block costs.
 	ep.snd.net.ChargeCPU(f, p.ProtoCyclesPerByte+p.PerBlockCycles/bs, host.CatUser)
@@ -496,13 +536,29 @@ func (t *Transfer) buildStream(st *stream, remaining float64) (*fluid.Transfer, 
 		ep.rcv.io.ChargeCPU(f, p.ChecksumCyclesPerByte, host.CatUser)
 	}
 	if err := t.dst.Attach(f, ep.rcv.io, ep.rcv.buf, 1, tag); err != nil {
-		return nil, fmt.Errorf("rftp: sink: %w", err)
+		return fmt.Errorf("rftp: sink: %w", err)
 	}
-	return &fluid.Transfer{
-		Flow:       f,
-		Remaining:  remaining,
-		OnComplete: func(now sim.Time) { t.streamDone(st, now) },
-	}, nil
+	return nil
+}
+
+// placer returns the adaptive placement engine when it actually applies:
+// Config.Placer is honored only under numa.PolicyAuto.
+func (t *Transfer) placer() *placer.Engine {
+	if t.Cfg.Policy != numa.PolicyAuto {
+		return nil
+	}
+	return t.Cfg.Placer
+}
+
+// untrack hands a stream's flow back from the placer before the transfer
+// is cancelled or after it completes. Safe on never-tracked flows.
+func (t *Transfer) untrack(tr *fluid.Transfer) {
+	if tr == nil {
+		return
+	}
+	if pl := t.placer(); pl != nil {
+		pl.Untrack(tr.Flow)
+	}
 }
 
 // newQP creates the stream's reliable connection on its current rail. The
@@ -529,6 +585,7 @@ func (t *Transfer) window() float64 {
 // streamDone marks a stream fully delivered; the last one closes the
 // session with a control round trip.
 func (t *Transfer) streamDone(s *stream, _ sim.Time) {
+	t.untrack(s.transfer)
 	s.done = true
 	s.kind = KindNone
 	s.acked = s.perStream
@@ -624,6 +681,7 @@ func (t *Transfer) declareLoss(s *stream, now sim.Time) {
 	s.faultAt = now
 	t.sim.Sync()
 	m := s.transfer.Transferred()
+	t.untrack(s.transfer)
 	if s.transfer.Active() {
 		t.sim.Cancel(s.transfer)
 	}
@@ -707,6 +765,7 @@ func (t *Transfer) migrateStream(s *stream, now sim.Time) {
 func (t *Transfer) moveStream(s *stream, target int, now sim.Time) {
 	t.sim.Sync()
 	m := s.transfer.Transferred()
+	t.untrack(s.transfer)
 	if s.transfer.Active() {
 		t.sim.Cancel(s.transfer)
 	}
@@ -837,6 +896,7 @@ func (t *Transfer) corrupted(r int) {
 	}
 	t.sim.Sync()
 	m := victim.transfer.Transferred()
+	t.untrack(victim.transfer)
 	if victim.transfer.Active() {
 		t.sim.Cancel(victim.transfer)
 	}
@@ -1003,6 +1063,7 @@ func (t *Transfer) teardown() {
 			t.eng.Cancel(s.pending)
 			s.pending = nil
 		}
+		t.untrack(s.transfer)
 		if s.transfer.Active() {
 			t.sim.Cancel(s.transfer)
 		}

@@ -142,7 +142,33 @@ type FlowOptions struct {
 func (c *Conn) NewFlow(opt FlowOptions) *fluid.Flow {
 	c.seq++
 	f := c.sim.NewFlow(fmt.Sprintf("tcp/%s/%d", c.Link.Cfg.Name, c.seq), c.windowCap())
+	c.charge(f, opt)
+	return f
+}
 
+// Recharge re-derives the flow's cost coefficients from the connection's
+// current placement: kernel socket buffers follow their thread's present
+// node (pinned) or go interleaved (unpinned), and every per-byte charge is
+// re-attached. It is the rebuild hook handed to the adaptive placer; the
+// caller (the placer) is responsible for clearing f.Uses first and
+// invalidating the fluid network afterwards.
+func (c *Conn) Recharge(f *fluid.Flow, opt FlowOptions) {
+	c.kbufS.Rehome(homesFor(c.SendThr)...)
+	c.kbufR.Rehome(homesFor(c.RecvThr)...)
+	c.charge(f, opt)
+}
+
+// homesFor returns the node set first-touch allocation would pick for the
+// thread's kernel buffer today: its pinned node, or all nodes when unbound.
+func homesFor(t *host.Thread) []*numa.Node {
+	if n := t.Node(); n != nil {
+		return []*numa.Node{n}
+	}
+	return t.Proc.Host.M.Nodes
+}
+
+// charge attaches the full per-byte TCP cost structure to f.
+func (c *Conn) charge(f *fluid.Flow, opt FlowOptions) {
 	// Sender side: user→kernel copy, protocol, DMA out.
 	src := opt.SrcBuf
 	if src == nil {
@@ -178,7 +204,6 @@ func (c *Conn) NewFlow(opt FlowOptions) *fluid.Flow {
 	if opt.Extra != nil {
 		opt.Extra(f)
 	}
-	return f
 }
 
 // Stream starts a transfer of size bytes (math.Inf(1) for an open-ended
