@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke
+.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke cluster-smoke bench-pr6
 
 build:
 	$(GO) build ./...
@@ -54,3 +54,15 @@ failover-smoke:
 placer-smoke:
 	$(GO) test -race ./internal/placer ./internal/xfersched
 	$(GO) run ./cmd/e2ebench -run S4
+
+# Cluster determinism gate: 100 hosts, 500 tenants, 5% control-plane drop,
+# fixed seed, run twice inside the CLI — exits non-zero unless both traces
+# hash bit-identically (CI runs this).
+cluster-smoke:
+	$(GO) test -race ./internal/cluster ./internal/fabric
+	$(GO) run ./cmd/xfersched -cluster -hosts 100 -ctenants 500 -drop 5 -seed 7 -replay-check
+
+# Full S5 scaling sweep (100/300/1000 hosts, each run twice) → BENCH_PR6.json.
+# Takes several minutes; not part of CI.
+bench-pr6:
+	$(GO) run ./cmd/clusterbench -o BENCH_PR6.json

@@ -18,6 +18,13 @@
 //	xfersched -concurrent 8 -streams 12  # admission and stream budgets
 //	xfersched -seed 7 -md -v             # reseed, markdown, per-job table
 //
+// Cluster mode swaps the single Figure 5 pair for a datacenter fabric of
+// simulated hosts under the sharded control plane (internal/cluster):
+//
+//	xfersched -cluster -hosts 100 -shards 4 -drop 5 -seed 7
+//	xfersched -cluster -hosts 300 -topology fat-tree -ctenants 3000
+//	xfersched -cluster -hosts 100 -ctenants 500 -drop 5 -replay-check
+//
 // With -chaos (or -fail) the injected fault schedule is echoed alongside
 // the outcome tables, so a report records exactly what the run survived.
 package main
@@ -31,6 +38,7 @@ import (
 	"strings"
 
 	"e2edt/internal/core"
+	"e2edt/internal/experiments"
 	"e2edt/internal/fabric"
 	"e2edt/internal/faults"
 	"e2edt/internal/fluid"
@@ -70,7 +78,24 @@ func main() {
 	md := flag.Bool("md", false, "emit tables as markdown")
 	utilz := flag.Bool("utilz", false, "dump the end-of-run fluid resource utilization snapshot (loaded resources only)")
 	verbose := flag.Bool("v", false, "include the per-job table")
+	clusterMode := flag.Bool("cluster", false, "run the datacenter cluster fabric instead of the single Figure 5 pair")
+	hosts := flag.Int("hosts", 100, "cluster mode: number of simulated hosts")
+	shards := flag.Int("shards", 4, "cluster mode: control-plane shard count")
+	drop := flag.Float64("drop", 0, "cluster mode: control-RPC drop percentage (0-100)")
+	topology := flag.String("topology", "leaf-spine", "cluster mode: fabric topology (leaf-spine|fat-tree)")
+	ctenants := flag.Int("ctenants", 0, "cluster mode: tenant count (default 10 per host)")
+	cjobs := flag.Int("cjobs", 0, "cluster mode: job count (default 2 per tenant)")
+	replayCheck := flag.Bool("replay-check", false, "cluster mode: run the scenario twice and fail unless the traces hash identically")
 	flag.Parse()
+
+	if *clusterMode {
+		runCluster(clusterFlags{
+			hosts: *hosts, shards: *shards, drop: *drop, topology: *topology,
+			tenants: *ctenants, jobs: *cjobs, seed: *seed,
+			replayCheck: *replayCheck, md: *md,
+		})
+		return
+	}
 
 	minB, err := units.ParseBlockSize(*minSize)
 	if err != nil {
@@ -225,6 +250,69 @@ func main() {
 	if !done {
 		fmt.Fprintf(os.Stderr, "xfersched: virtual-time budget %.0fs exhausted with jobs unfinished\n", *limit)
 		os.Exit(1)
+	}
+}
+
+// clusterFlags carries the cluster-mode CLI knobs.
+type clusterFlags struct {
+	hosts, shards int
+	drop          float64
+	topology      string
+	tenants, jobs int
+	seed          int64
+	replayCheck   bool
+	md            bool
+}
+
+// runCluster drives the sharded-control-plane fabric scenario and prints
+// the cluster report. With -replay-check the scenario runs twice and the
+// process fails unless both traces hash identically — the determinism
+// contract the CI smoke asserts.
+func runCluster(f clusterFlags) {
+	if _, err := fabric.ParseTopoKind(f.topology); err != nil {
+		fatal(err)
+	}
+	if f.hosts < 2 {
+		fatal(fmt.Errorf("-hosts must be at least 2, got %d", f.hosts))
+	}
+	if f.shards < 1 {
+		fatal(fmt.Errorf("-shards must be at least 1, got %d", f.shards))
+	}
+	if f.tenants <= 0 {
+		f.tenants = 10 * f.hosts
+	}
+	if f.jobs <= 0 {
+		f.jobs = 2 * f.tenants
+	}
+	spec := experiments.ClusterRunSpec{
+		Hosts:    f.hosts,
+		Shards:   f.shards,
+		Tenants:  f.tenants,
+		Jobs:     f.jobs,
+		DropPct:  f.drop,
+		Topology: f.topology,
+		Seed:     f.seed,
+	}
+	res := experiments.RunClusterPoint(spec)
+	// Echo the schedule and topology the run used, in the -chaos/-rails
+	// fault-plan style: a report records exactly what was simulated.
+	fmt.Printf("cluster: %s\n", res.Topology)
+	fmt.Printf("schedule: %d shards, %d tenants, %d jobs, drop %.1f%%, seed %d\n",
+		f.shards, f.tenants, f.jobs, f.drop, f.seed)
+	tb := res.Report.Table()
+	if f.md {
+		fmt.Println(tb.Markdown())
+	} else {
+		fmt.Println(tb)
+	}
+	fmt.Printf("replay sha256: %s (%d events, %.1fs wall)\n", res.TraceSHA, res.TraceEvents, res.WallSeconds)
+	if f.replayCheck {
+		again := experiments.RunClusterPoint(spec)
+		if again.TraceSHA != res.TraceSHA {
+			fmt.Fprintf(os.Stderr, "xfersched: replay check FAILED: %s vs %s\n", res.TraceSHA, again.TraceSHA)
+			os.Exit(1)
+		}
+		fmt.Printf("replay check: OK (second run bit-identical, %d events)\n", again.TraceEvents)
 	}
 }
 

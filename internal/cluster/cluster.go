@@ -1,0 +1,542 @@
+// Package cluster scales the simulation from the paper's one back-end→
+// front-end path to a datacenter: N simulated hosts — each a real NUMA
+// machine with bound worker threads and rail NICs — attached to a generated
+// multi-stage fabric topology, driven by a sharded transfer control plane.
+//
+// The control plane follows xfersched's model (admission queue ordered by
+// priority/arrival, weighted fair share per tenant) but splits ownership
+// across K shards: shard k owns every host h with h mod K == k, admits jobs
+// destined to its hosts, and enforces tenant fair share locally. A leader
+// shard reconciles fair share globally: shards push per-tenant delivered
+// digests on a fixed interval, the leader compares realized shares against
+// weight-proportional targets and broadcasts per-tenant weight adjustments.
+// Control messages ride a lossy RPC model (fixed delay, seeded drop
+// percentage, bounded retries), so shard state is eventually — not
+// instantly — consistent, exactly the regime a real sharded scheduler
+// operates in.
+//
+// Everything that affects the simulation is deterministic in the seed:
+// workload generation and RPC drops come from seeded generators drawn in
+// event order, per-tenant state lives in dense arrays (no map iteration on
+// simulation paths), and the trace of two runs with one seed is
+// bit-identical. Wall-clock scheduler decision latency is measured around
+// admission passes but kept out of the trace for exactly that reason.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"e2edt/internal/fabric"
+	"e2edt/internal/fluid"
+	"e2edt/internal/host"
+	"e2edt/internal/metrics"
+	"e2edt/internal/numa"
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+// Config shapes the cluster: topology, per-host hardware, transfer-path
+// coefficients, and control-plane behavior.
+type Config struct {
+	// Hosts is the number of simulated endpoint hosts.
+	Hosts int
+	// Shards is the number of control-plane shards (K ≥ 1). Host h is owned
+	// by shard h mod K.
+	Shards int
+
+	// Topology selects the fabric family; the shape fields below default to
+	// a mildly oversubscribed datacenter pod.
+	Topology     fabric.TopoKind
+	HostsPerLeaf int     // leaf-spine ports per leaf (default 32)
+	Spines       int     // leaf-spine spine count (default 4)
+	FatTreeK     int     // fat-tree arity (default: smallest even k fitting Hosts×Rails)
+	HostGbps     float64 // access-link rate (default 10)
+	UplinkGbps   float64 // switch-stage rate (default 40)
+	HostRTT      sim.Duration
+	UplinkRTT    sim.Duration
+
+	// Rails is the number of access NICs per host; rails attach to the
+	// fabric as independent ports and jobs hash across them.
+	Rails int
+
+	// Per-host hardware (small on purpose: a thousand hosts share one
+	// solver, so each host models 2×2 cores, not 2×22).
+	NUMANodes    int
+	CoresPerNode int
+	CoreHz       float64
+	MemGBps      float64 // per-node memory bandwidth
+	InterGBps    float64 // inter-socket interconnect bandwidth
+	Workers      int     // bound worker threads per host (pooled, round-robin)
+
+	// CPUPerByte is the protocol-processing cost charged on both endpoints'
+	// workers (cycles per byte).
+	CPUPerByte float64
+	// PerJobGbps caps each transfer's rate (admission reservation; also
+	// freezes flows early, which keeps the max-min solver cheap).
+	PerJobGbps float64
+	// MaxPerHost bounds concurrently admitted jobs per host per direction.
+	MaxPerHost int
+
+	// Control-plane model.
+	DropPct        float64      // control-RPC drop percentage (0–100)
+	CtrlDelay      sim.Duration // one-way control message delay
+	CtrlTimeout    sim.Duration // retransmit timer for reliable RPCs
+	CtrlRetries    int          // submit retries before a job is lost
+	ReconcileEvery sim.Duration // digest/adjust reconciliation interval
+
+	// Seed drives workload generation and RPC drops.
+	Seed int64
+}
+
+// SetDefaults fills zero fields with the standard cluster profile.
+func (c *Config) SetDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.HostsPerLeaf <= 0 {
+		c.HostsPerLeaf = 32
+	}
+	if c.Spines <= 0 {
+		c.Spines = 4
+	}
+	if c.HostGbps <= 0 {
+		c.HostGbps = 10
+	}
+	if c.UplinkGbps <= 0 {
+		c.UplinkGbps = 40
+	}
+	if c.HostRTT <= 0 {
+		c.HostRTT = 20e-6
+	}
+	if c.UplinkRTT <= 0 {
+		c.UplinkRTT = 10e-6
+	}
+	if c.Rails <= 0 {
+		c.Rails = 1
+	}
+	if c.FatTreeK <= 0 {
+		ports := c.Hosts * c.Rails
+		k := 4
+		for k*k*k/4 < ports {
+			k += 2
+		}
+		c.FatTreeK = k
+	}
+	if c.NUMANodes <= 0 {
+		c.NUMANodes = 2
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 2
+	}
+	if c.CoreHz <= 0 {
+		c.CoreHz = 2.2e9
+	}
+	if c.MemGBps <= 0 {
+		c.MemGBps = 25
+	}
+	if c.InterGBps <= 0 {
+		c.InterGBps = 12
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CPUPerByte <= 0 {
+		c.CPUPerByte = 0.3
+	}
+	if c.PerJobGbps <= 0 {
+		c.PerJobGbps = 5
+	}
+	if c.MaxPerHost <= 0 {
+		c.MaxPerHost = 2
+	}
+	if c.CtrlDelay <= 0 {
+		c.CtrlDelay = 100e-6
+	}
+	if c.CtrlTimeout <= 0 {
+		c.CtrlTimeout = 10e-3
+	}
+	if c.CtrlRetries <= 0 {
+		c.CtrlRetries = 30
+	}
+	if c.ReconcileEvery <= 0 {
+		c.ReconcileEvery = 0.25
+	}
+}
+
+// hostNode is one simulated endpoint: a NUMA host, its pooled worker
+// threads with node-local staging buffers, and admission state.
+//
+// Worker threads are created once and reused — each host.Thread owns a
+// fluid limiter resource forever, so per-transfer threads would leak
+// resources into the solver.
+type hostNode struct {
+	id      int
+	h       *host.Host
+	workers []*host.Thread
+	bufs    []*numa.Buffer
+	next    int // round-robin worker cursor
+
+	srcActive, dstActive int
+
+	delivered *metrics.Counter // bytes landed on this host
+	srcJobs   *metrics.Counter
+	dstJobs   *metrics.Counter
+}
+
+// worker returns the next pooled worker round-robin.
+func (hn *hostNode) worker() (*host.Thread, *numa.Buffer) {
+	i := hn.next % len(hn.workers)
+	hn.next++
+	return hn.workers[i], hn.bufs[i]
+}
+
+type jobState int
+
+const (
+	jobPending jobState = iota
+	jobQueued
+	jobRunning
+	jobDone
+	jobLost
+)
+
+// job is one tenant transfer request: move a dataset replica to Dst.
+type job struct {
+	id       int
+	tenant   int
+	dataset  int
+	dst      int
+	size     float64
+	priority int
+	submit   sim.Time
+
+	state   jobState
+	retries int
+	src     int // chosen replica at admission
+	flow    *fluid.Flow
+	shard   *shard
+}
+
+// Cluster is the assembled simulation: hosts on a fabric plus the sharded
+// control plane.
+type Cluster struct {
+	Cfg  Config
+	Eng  *sim.Engine
+	FSim *fluid.Sim
+	Topo *fabric.Topology
+
+	// Registry aggregates every host's namespaced instruments plus
+	// cluster-level ones; per-host counters are registered under
+	// "host%04d/" so a thousand hosts never collide.
+	Registry *metrics.Registry
+
+	// DecisionLat records wall-clock admission-pass latency in microseconds.
+	// It never feeds back into the simulation or the trace.
+	DecisionLat *metrics.Histogram
+
+	hosts    []*hostNode
+	shards   []*shard
+	tenants  []tenant
+	jobs     []*job
+	datasets [][]int // dataset → replica host ids
+
+	ctlRng *rand.Rand // control-plane drops; drawn in event order only
+
+	remaining int // jobs not yet done or lost
+
+	// Control-plane tallies (ints, not instruments: they feed the report).
+	CtrlDrops   int
+	CtrlResends int
+	JobsLost    int
+	Digests     int
+	Adjusts     int
+
+	// Locality outcome histogram (index localitySame..localityCore).
+	Locality [4]int
+}
+
+// tenant is a workload principal with a fair-share weight.
+type tenant struct {
+	weight float64
+}
+
+const (
+	localitySame = iota // replica on the destination host
+	localityLeaf        // same leaf/edge switch
+	localityPod         // same pod (fat-tree) / same leaf domain
+	localityCore        // cross-fabric
+)
+
+// New assembles hosts, fabric, and shards. The workload is attached with
+// Submit or by the Generate helper; Run drains everything.
+func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
+	cfg.SetDefaults()
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("cluster: needs at least one host")
+	}
+	c := &Cluster{
+		Cfg:         cfg,
+		Eng:         eng,
+		FSim:        fluid.NewSim(eng),
+		Registry:    metrics.NewRegistry(),
+		DecisionLat: metrics.NewHistogram(0.5),
+		ctlRng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5eedc0de)),
+	}
+	ports := make([]fabric.Endpoint, 0, cfg.Hosts*cfg.Rails)
+	for i := 0; i < cfg.Hosts; i++ {
+		hn, err := c.newHost(i)
+		if err != nil {
+			return nil, err
+		}
+		c.hosts = append(c.hosts, hn)
+		for r := 0; r < cfg.Rails; r++ {
+			node := hn.h.M.Node(r % cfg.NUMANodes)
+			ports = append(ports, fabric.Endpoint{Host: hn.h, Node: node})
+		}
+	}
+	tc := fabric.TopoConfig{
+		Kind: cfg.Topology,
+		HostLink: fabric.Config{
+			Rate: units.FromGbps(cfg.HostGbps),
+			RTT:  cfg.HostRTT,
+		},
+		HostsPerLeaf: cfg.HostsPerLeaf,
+		Spines:       cfg.Spines,
+		K:            cfg.FatTreeK,
+		UplinkRate:   units.FromGbps(cfg.UplinkGbps),
+		UplinkRTT:    cfg.UplinkRTT,
+	}
+	topo, err := fabric.BuildTopology(c.FSim, tc, ports)
+	if err != nil {
+		return nil, err
+	}
+	c.Topo = topo
+	for k := 0; k < cfg.Shards; k++ {
+		c.shards = append(c.shards, newShard(c, k))
+	}
+	return c, nil
+}
+
+// newHost builds endpoint host i: machine, pooled workers, counters.
+func (c *Cluster) newHost(i int) (*hostNode, error) {
+	cfg := c.Cfg
+	name := fmt.Sprintf("host%04d", i)
+	m, err := numa.New(c.FSim, numa.Config{
+		Name:                  name,
+		Nodes:                 cfg.NUMANodes,
+		CoresPerNode:          cfg.CoresPerNode,
+		CoreHz:                cfg.CoreHz,
+		MemBandwidthPerNode:   cfg.MemGBps * 1e9,
+		InterconnectBandwidth: cfg.InterGBps * 1e9,
+		RemoteAccessPenalty:   1.2,
+		CoherencyWritePenalty: 1.3,
+		MemBytes:              16 * units.GB,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: host %d: %w", i, err)
+	}
+	hn := &hostNode{id: i, h: host.New(name, m)}
+	proc := hn.h.NewProcess("xfer", numa.PolicyBind, nil)
+	for w := 0; w < cfg.Workers; w++ {
+		// One bound process per worker spreads workers round-robin over
+		// nodes (PolicyBind + nil node), matching the paper's
+		// numactl-per-node deployment.
+		if w > 0 {
+			proc = hn.h.NewProcess(fmt.Sprintf("xfer%d", w), numa.PolicyBind, nil)
+		}
+		t := proc.NewThread()
+		hn.workers = append(hn.workers, t)
+		hn.bufs = append(hn.bufs, m.NewBuffer(fmt.Sprintf("%s/w%d", name, w), t.Node()))
+	}
+	ns := c.Registry.Namespace(name)
+	hn.delivered = ns.MustCounter("delivered_bytes")
+	hn.srcJobs = ns.MustCounter("src_jobs")
+	hn.dstJobs = ns.MustCounter("dst_jobs")
+	return hn, nil
+}
+
+// port returns the fabric port index for host h, rail r.
+func (c *Cluster) port(h, rail int) int { return h*c.Cfg.Rails + rail }
+
+// owner returns the shard owning host h.
+func (c *Cluster) owner(h int) *shard { return c.shards[h%len(c.shards)] }
+
+// AddTenants registers n tenants; tenant t gets weight 1 + t mod 4 (four
+// service classes, as the S-series experiments use).
+func (c *Cluster) AddTenants(n int) {
+	for i := 0; i < n; i++ {
+		c.tenants = append(c.tenants, tenant{weight: float64(1 + i%4)})
+	}
+	for _, sh := range c.shards {
+		sh.growTenants(len(c.tenants))
+	}
+}
+
+// AddDataset registers a dataset with replicas on the given hosts and
+// returns its id.
+func (c *Cluster) AddDataset(replicas []int) int {
+	c.datasets = append(c.datasets, replicas)
+	return len(c.datasets) - 1
+}
+
+// Submit schedules a job: at time at, the tenant's client sends the request
+// to the shard owning the destination host (lossy RPC, bounded retries).
+func (c *Cluster) Submit(at sim.Time, tenantID, dataset, dst int, size float64, priority int) *job {
+	j := &job{
+		id:       len(c.jobs),
+		tenant:   tenantID,
+		dataset:  dataset,
+		dst:      dst,
+		size:     size,
+		priority: priority,
+	}
+	c.jobs = append(c.jobs, j)
+	c.remaining++
+	c.Eng.At(at, func() { c.submitRPC(j) })
+	return j
+}
+
+// submitRPC attempts delivery of j's submit message to its owning shard,
+// retrying on (seeded) drops until CtrlRetries is exhausted.
+func (c *Cluster) submitRPC(j *job) {
+	sh := c.owner(j.dst)
+	if c.dropped() {
+		c.CtrlDrops++
+		if j.retries >= c.Cfg.CtrlRetries {
+			j.state = jobLost
+			c.JobsLost++
+			c.jobFinished()
+			c.Eng.Tracef("cluster", "job %d lost after %d retries", j.id, j.retries)
+			return
+		}
+		j.retries++
+		c.CtrlResends++
+		c.Eng.Schedule(c.Cfg.CtrlTimeout, func() { c.submitRPC(j) })
+		return
+	}
+	c.Eng.Schedule(c.Cfg.CtrlDelay, func() {
+		j.submit = c.Eng.Now()
+		sh.enqueue(j)
+	})
+}
+
+// dropped draws the control-plane loss coin. All draws happen inside
+// engine events, so the sequence — and therefore every retry timeline — is
+// a pure function of the seed.
+func (c *Cluster) dropped() bool {
+	if c.Cfg.DropPct <= 0 {
+		return false
+	}
+	return c.ctlRng.Float64()*100 < c.Cfg.DropPct
+}
+
+// locality classifies a src→dst placement.
+func (c *Cluster) locality(src, dst int) int {
+	if src == dst {
+		return localitySame
+	}
+	sp, dp := c.port(src, 0), c.port(dst, 0)
+	if c.Topo.SameLeaf(sp, dp) {
+		return localityLeaf
+	}
+	if c.Topo.PodIndex(sp) == c.Topo.PodIndex(dp) {
+		return localityPod
+	}
+	return localityCore
+}
+
+// start activates an admitted job: builds the flow over the chosen route
+// and charges both endpoints' CPU/memory plus every fabric hop.
+func (c *Cluster) start(j *job, sh *shard) {
+	src, dst := c.hosts[j.src], c.hosts[j.dst]
+	srcT, srcBuf := src.worker()
+	dstT, dstBuf := dst.worker()
+	f := c.FSim.NewFlow(fmt.Sprintf("job%06d", j.id), units.FromGbps(c.Cfg.PerJobGbps))
+	j.flow = f
+	loc := c.locality(j.src, j.dst)
+	c.Locality[loc]++
+	if loc == localitySame {
+		// Replica already on the destination host: a local NUMA copy.
+		dstT.ChargeCopy(f, srcBuf, dstBuf, 1, c.Cfg.CPUPerByte, host.CatCopy)
+	} else {
+		rail := int(uint64(j.id) % uint64(c.Cfg.Rails))
+		sp, dp := c.port(j.src, rail), c.port(j.dst, rail)
+		hops := c.Topo.Route(sp, dp, uint64(j.id))
+		fabric.ChargeRoute(f, hops, 1, "wire")
+		srcT.ChargeCPU(f, c.Cfg.CPUPerByte, host.CatUser)
+		srcT.ChargeMemory(f, srcBuf, 1, false, host.CatUser)
+		c.Topo.PortLinks[sp].A.ChargeDMA(f, srcBuf, 1, false, "dma")
+		dstT.ChargeCPU(f, c.Cfg.CPUPerByte, host.CatUser)
+		dstT.ChargeMemory(f, dstBuf, 1, true, host.CatUser)
+		c.Topo.PortLinks[dp].A.ChargeDMA(f, dstBuf, 1, true, "dma")
+	}
+	src.srcActive++
+	dst.dstActive++
+	src.srcJobs.Add(1)
+	dst.dstJobs.Add(1)
+	j.state = jobRunning
+	j.shard = sh
+	c.Eng.Tracef("cluster", "shard %d starts job %d tenant %d %s→%s (%s, loc %d)",
+		sh.id, j.id, j.tenant, src.h.Name, dst.h.Name, units.FormatBytes(int64(j.size)), loc)
+	c.FSim.Start(&fluid.Transfer{
+		Flow:       f,
+		Remaining:  j.size,
+		OnComplete: func(now sim.Time) { c.finish(j, now) },
+	})
+}
+
+// finish handles transfer completion: accounting, fair-share bookkeeping,
+// and re-admission kicks for the shards whose hosts freed capacity.
+func (c *Cluster) finish(j *job, now sim.Time) {
+	src, dst := c.hosts[j.src], c.hosts[j.dst]
+	src.srcActive--
+	dst.dstActive--
+	dst.delivered.Add(j.size)
+	j.state = jobDone
+	j.shard.jobDone(j)
+	c.Eng.Tracef("cluster", "job %d done (%s to %s)", j.id, units.FormatBytes(int64(j.size)), dst.h.Name)
+	c.jobFinished()
+	if c.remaining > 0 {
+		c.owner(j.src).admit()
+		if c.owner(j.dst) != c.owner(j.src) {
+			c.owner(j.dst).admit()
+		}
+	}
+}
+
+// jobFinished retires one job; at zero the control plane's tickers stop so
+// the event queue can drain.
+func (c *Cluster) jobFinished() {
+	c.remaining--
+	if c.remaining == 0 {
+		for _, sh := range c.shards {
+			sh.stop()
+		}
+		c.Eng.Tracef("cluster", "all jobs retired at %.6f", float64(c.Eng.Now()))
+	}
+}
+
+// Run drives the simulation until every job is done or lost and the event
+// queue drains.
+func (c *Cluster) Run() {
+	for _, sh := range c.shards {
+		sh.startTickers()
+	}
+	c.Eng.Run()
+	c.FSim.Sync()
+	// A final deterministic counters line folds aggregate outcomes into the
+	// trace, so replay verification covers accounting, not just event order.
+	c.Eng.Tracef("cluster", "final delivered=%.0f drops=%d resends=%d lost=%d digests=%d adjusts=%d loc=%v",
+		c.Registry.SumCounters("delivered_bytes"), c.CtrlDrops, c.CtrlResends,
+		c.JobsLost, c.Digests, c.Adjusts, c.Locality)
+}
+
+// Hosts returns the number of simulated hosts.
+func (c *Cluster) Hosts() int { return len(c.hosts) }
+
+// Jobs returns the number of submitted jobs.
+func (c *Cluster) Jobs() int { return len(c.jobs) }
+
+// Tenants returns the number of registered tenants.
+func (c *Cluster) Tenants() int { return len(c.tenants) }

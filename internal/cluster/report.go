@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+
+	"e2edt/internal/metrics"
+	"e2edt/internal/units"
+)
+
+// Report summarizes a finished cluster run.
+type Report struct {
+	Hosts, Shards, Tenants, Jobs int
+
+	// VirtualSeconds is the virtual time at which the last job retired.
+	VirtualSeconds float64
+	// DeliveredBytes sums every host's delivered counter through the merged
+	// registry.
+	DeliveredBytes float64
+	// AggregateGoodputGbps is delivered payload over the active window.
+	AggregateGoodputGbps float64
+
+	// Decision latency (wall clock, microseconds) over admission passes.
+	Decisions                    uint64
+	DecisionP50us, DecisionP99us float64
+
+	// Control-plane health.
+	CtrlDrops, CtrlResends, JobsLost int
+	Digests, Adjusts                 int
+
+	// Locality outcomes: how many admitted jobs read a replica on the
+	// destination host / leaf / pod / across the core.
+	LocalSame, LocalLeaf, LocalPod, LocalCore int
+
+	// PerShard carries per-shard admission counts (index = shard id).
+	PerShard []int
+}
+
+// Report assembles the summary after Run.
+func (c *Cluster) Report() Report {
+	elapsed := float64(c.Eng.Now())
+	delivered := c.Registry.SumCounters("delivered_bytes")
+	r := Report{
+		Hosts:          c.Hosts(),
+		Shards:         len(c.shards),
+		Tenants:        c.Tenants(),
+		Jobs:           c.Jobs(),
+		VirtualSeconds: elapsed,
+		DeliveredBytes: delivered,
+		Decisions:      c.DecisionLat.Count(),
+		DecisionP50us:  c.DecisionLat.Quantile(0.50),
+		DecisionP99us:  c.DecisionLat.Quantile(0.99),
+		CtrlDrops:      c.CtrlDrops,
+		CtrlResends:    c.CtrlResends,
+		JobsLost:       c.JobsLost,
+		Digests:        c.Digests,
+		Adjusts:        c.Adjusts,
+		LocalSame:      c.Locality[localitySame],
+		LocalLeaf:      c.Locality[localityLeaf],
+		LocalPod:       c.Locality[localityPod],
+		LocalCore:      c.Locality[localityCore],
+	}
+	if elapsed > 0 {
+		r.AggregateGoodputGbps = units.ToGbps(delivered / elapsed)
+	}
+	for _, sh := range c.shards {
+		r.PerShard = append(r.PerShard, sh.admitted)
+	}
+	return r
+}
+
+// Table renders the report as a metrics table for CLI/experiment output.
+func (r Report) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("cluster: %d hosts, %d shards, %d tenants, %d jobs", r.Hosts, r.Shards, r.Tenants, r.Jobs),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("virtual time", fmt.Sprintf("%.2f s", r.VirtualSeconds))
+	t.AddRow("delivered", units.FormatBytes(int64(r.DeliveredBytes)))
+	t.AddRow("aggregate goodput", fmt.Sprintf("%.2f Gbps", r.AggregateGoodputGbps))
+	t.AddRow("decisions", fmt.Sprintf("%d", r.Decisions))
+	t.AddRow("decision latency p50", fmt.Sprintf("%.1f µs", r.DecisionP50us))
+	t.AddRow("decision latency p99", fmt.Sprintf("%.1f µs", r.DecisionP99us))
+	t.AddRow("ctrl drops / resends", fmt.Sprintf("%d / %d", r.CtrlDrops, r.CtrlResends))
+	t.AddRow("jobs lost", fmt.Sprintf("%d", r.JobsLost))
+	t.AddRow("digests / adjusts", fmt.Sprintf("%d / %d", r.Digests, r.Adjusts))
+	t.AddRow("locality same/leaf/pod/core", fmt.Sprintf("%d / %d / %d / %d",
+		r.LocalSame, r.LocalLeaf, r.LocalPod, r.LocalCore))
+	return t
+}

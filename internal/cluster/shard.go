@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"e2edt/internal/fluid"
+	"e2edt/internal/sim"
+)
+
+// shard is one control-plane replica. It owns the hosts with id ≡ shard id
+// (mod K): jobs destined to an owned host queue here, admission and tenant
+// fair share are enforced here, and per-tenant delivered bytes are pushed
+// to the leader (shard 0) for global reconciliation.
+type shard struct {
+	c  *Cluster
+	id int
+
+	// queue holds jobs awaiting admission, kept sorted by
+	// (priority desc, submit time, id) — xfersched's total order.
+	queue []*job
+	// running holds admitted jobs in admission order.
+	running []*job
+
+	// adjust is this shard's copy of the leader's per-tenant weight
+	// correction; stale between reconciliations (or longer, when the
+	// broadcast drops).
+	adjust []float64
+	// window accumulates per-tenant delivered bytes since the last digest.
+	window []float64
+
+	// Leader state (shard 0 only): delivered bytes accumulated from every
+	// shard's digests during the current reconcile interval.
+	acc []float64
+
+	admitted int
+	digestT  *sim.Ticker
+	adjustT  *sim.Ticker
+	scanT    *sim.Ticker
+	stopped  bool
+}
+
+func newShard(c *Cluster, id int) *shard {
+	return &shard{c: c, id: id}
+}
+
+// growTenants sizes the per-tenant arrays (dense, so no simulation path
+// ever iterates a map).
+func (s *shard) growTenants(n int) {
+	for len(s.adjust) < n {
+		s.adjust = append(s.adjust, 1)
+		s.window = append(s.window, 0)
+	}
+	if s.id == 0 {
+		for len(s.acc) < n {
+			s.acc = append(s.acc, 0)
+		}
+	}
+}
+
+// leader reports whether this shard reconciles global fair share.
+func (s *shard) leader() bool { return s.id == 0 }
+
+// startTickers arms the shard's periodic work: digest pushes to the
+// leader, (leader only) adjustment broadcasts offset by half an interval so
+// digests land first, and a slow re-admission scan that guarantees
+// progress for jobs whose source hosts were busy when capacity last freed.
+func (s *shard) startTickers() {
+	every := s.c.Cfg.ReconcileEvery
+	s.digestT = s.c.Eng.NewTicker(every, func(sim.Time) { s.pushDigest() })
+	if s.leader() {
+		s.c.Eng.Schedule(every/2, func() {
+			if s.stopped {
+				return
+			}
+			s.adjustT = s.c.Eng.NewTicker(every, func(sim.Time) { s.reconcile() })
+			s.reconcile()
+		})
+	}
+	s.scanT = s.c.Eng.NewTicker(every/5, func(sim.Time) { s.admit() })
+}
+
+// stop disarms the tickers so the event queue can drain.
+func (s *shard) stop() {
+	s.stopped = true
+	if s.digestT != nil {
+		s.digestT.Stop()
+	}
+	if s.adjustT != nil {
+		s.adjustT.Stop()
+	}
+	if s.scanT != nil {
+		s.scanT.Stop()
+	}
+}
+
+// order is the admission total order: priority desc, then submit time,
+// then id — a deterministic tie-break chain identical to xfersched's.
+func order(a, b *job) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	if a.submit != b.submit {
+		return a.submit < b.submit
+	}
+	return a.id < b.id
+}
+
+// enqueue inserts a delivered job into the sorted queue and runs an
+// admission pass.
+func (s *shard) enqueue(j *job) {
+	j.state = jobQueued
+	i := sort.Search(len(s.queue), func(i int) bool { return order(j, s.queue[i]) })
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = j
+	s.c.Eng.Tracef("cluster", "shard %d queues job %d tenant %d dst %d", s.id, j.id, j.tenant, j.dst)
+	s.admit()
+}
+
+// pickSource chooses the replica to read from: the nearest (same host,
+// then same leaf, then same pod, then anywhere) replica with source
+// capacity, ties broken by lighter load then lower host id. Returns -1
+// when every replica is saturated.
+func (s *shard) pickSource(j *job) int {
+	best, bestScore, bestLoad := -1, 0, 0
+	for _, r := range s.c.datasets[j.dataset] {
+		hn := s.c.hosts[r]
+		if hn.srcActive >= s.c.Cfg.MaxPerHost {
+			continue
+		}
+		score := s.c.locality(r, j.dst)
+		if best == -1 || score < bestScore ||
+			(score == bestScore && (hn.srcActive < bestLoad ||
+				(hn.srcActive == bestLoad && r < best))) {
+			best, bestScore, bestLoad = r, score, hn.srcActive
+		}
+	}
+	return best
+}
+
+// admit runs one admission pass: walk the queue in order, start every job
+// whose destination and chosen source have capacity, then rebalance the
+// fair-share weights of tenants that gained flows. The pass is wrapped in
+// a wall-clock stopwatch feeding the decision-latency histogram — the
+// measurement is observational only and never enters the simulation.
+func (s *shard) admit() {
+	if s.stopped || len(s.queue) == 0 {
+		return
+	}
+	t0 := time.Now()
+	var touched []int
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		if s.c.hosts[j.dst].dstActive >= s.c.Cfg.MaxPerHost {
+			kept = append(kept, j)
+			continue
+		}
+		src := s.pickSource(j)
+		if src < 0 {
+			kept = append(kept, j)
+			continue
+		}
+		j.src = src
+		s.c.start(j, s)
+		s.running = append(s.running, j)
+		s.admitted++
+		touched = append(touched, j.tenant)
+	}
+	s.queue = kept
+	if len(touched) > 0 {
+		s.rebalance(touched)
+	}
+	s.c.DecisionLat.Observe(float64(time.Since(t0).Nanoseconds()) / 1e3)
+}
+
+// rebalance recomputes flow weights for the given tenants so that each
+// tenant's aggregate share in this shard tracks weight × adjust regardless
+// of how many flows it has running. One Refresh propagates the batch.
+func (s *shard) rebalance(tenants []int) {
+	sort.Ints(tenants)
+	changed := false
+	prev := -1
+	for _, t := range tenants {
+		if t == prev {
+			continue
+		}
+		prev = t
+		if s.applyWeight(t) {
+			changed = true
+		}
+	}
+	if changed {
+		s.c.FSim.Refresh()
+	}
+}
+
+// applyWeight sets weight×adjust/activeFlows on every running flow of
+// tenant t, reporting whether anything moved.
+func (s *shard) applyWeight(t int) bool {
+	var flows []*fluid.Flow
+	for _, j := range s.running {
+		if j.tenant == t {
+			flows = append(flows, j.flow)
+		}
+	}
+	if len(flows) == 0 {
+		return false
+	}
+	w := s.c.tenants[t].weight * s.adjust[t] / float64(len(flows))
+	changed := false
+	for _, f := range flows {
+		if diff := f.Weight - w; diff > 1e-9 || diff < -1e-9 {
+			f.Weight = w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// jobDone retires a completed job from the shard's running set and credits
+// the tenant's delivered window for reconciliation.
+func (s *shard) jobDone(j *job) {
+	for i, r := range s.running {
+		if r == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+	s.window[j.tenant] += j.size
+}
+
+// pushDigest sends the per-tenant delivered window to the leader. The
+// message rides the lossy control plane: a dropped digest simply loses the
+// window (the leader reconciles from what it heard), trading accuracy for
+// the bounded state of real sharded schedulers.
+func (s *shard) pushDigest() {
+	if s.stopped {
+		return
+	}
+	delta := make([]float64, len(s.window))
+	any := false
+	for t, v := range s.window {
+		if v > 0 {
+			delta[t] = v
+			s.window[t] = 0
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	if s.c.dropped() {
+		s.c.CtrlDrops++
+		s.c.Eng.Tracef("cluster", "shard %d digest dropped", s.id)
+		return
+	}
+	leader := s.c.shards[0]
+	s.c.Eng.Schedule(s.c.Cfg.CtrlDelay, func() {
+		s.c.Digests++
+		for t, v := range delta {
+			if v > 0 {
+				leader.acc[t] += v
+			}
+		}
+	})
+}
+
+// reconcile (leader only) compares each active tenant's realized share of
+// delivered bytes against its weight-proportional target and broadcasts a
+// damped multiplicative correction. Shards apply it to running flows, so
+// a tenant starved on one shard is boosted everywhere — inter-host fair
+// share without a global scheduler.
+func (s *shard) reconcile() {
+	if s.stopped {
+		return
+	}
+	var total, wsum float64
+	for t, v := range s.acc {
+		if v > 0 {
+			total += v
+			wsum += s.c.tenants[t].weight
+		}
+	}
+	if total <= 0 || wsum <= 0 {
+		return
+	}
+	newAdj := make([]float64, len(s.acc))
+	for t := range newAdj {
+		newAdj[t] = -1 // sentinel: no update for this tenant
+	}
+	for t, v := range s.acc {
+		if v <= 0 {
+			continue
+		}
+		target := s.c.tenants[t].weight / wsum
+		actual := v / total
+		// Damped multiplicative correction, clamped so a stale or lossy
+		// view can never run a tenant's weight away.
+		adj := s.adjust[t] * damp(target/actual)
+		newAdj[t] = clamp(adj, 0.25, 4)
+		s.acc[t] = 0
+	}
+	for _, sh := range s.c.shards {
+		sh := sh
+		if s.c.dropped() {
+			s.c.CtrlDrops++
+			s.c.Eng.Tracef("cluster", "adjust broadcast to shard %d dropped", sh.id)
+			continue
+		}
+		s.c.Eng.Schedule(s.c.Cfg.CtrlDelay, func() { sh.applyAdjust(newAdj) })
+	}
+	s.c.Eng.Tracef("cluster", "leader reconciled %d tenants (%.0f bytes)", countUpdates(newAdj), total)
+}
+
+// applyAdjust installs the leader's corrections and rebalances every
+// tenant whose adjustment moved.
+func (s *shard) applyAdjust(adj []float64) {
+	if s.stopped {
+		return
+	}
+	s.c.Adjusts++
+	var touched []int
+	for t, v := range adj {
+		if v < 0 || t >= len(s.adjust) {
+			continue
+		}
+		if diff := s.adjust[t] - v; diff > 1e-9 || diff < -1e-9 {
+			s.adjust[t] = v
+			touched = append(touched, t)
+		}
+	}
+	if len(touched) > 0 {
+		s.rebalance(touched)
+	}
+}
+
+// damp is a square-root step toward the target ratio: corrective but
+// stable under the half-interval-old data it acts on.
+func damp(ratio float64) float64 {
+	if ratio <= 0 {
+		return 1
+	}
+	return math.Sqrt(ratio)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func countUpdates(adj []float64) int {
+	n := 0
+	for _, v := range adj {
+		if v >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"e2edt/internal/sim"
+	"e2edt/internal/units"
+)
+
+// WorkloadConfig shapes the synthetic multi-tenant workload.
+type WorkloadConfig struct {
+	// Tenants is the number of principals; weights cycle 1..4.
+	Tenants int
+	// Jobs is the total number of transfer requests.
+	Jobs int
+	// Datasets is the number of replicated datasets (default: one per
+	// host); Replicas is the copy count per dataset (default min(3, hosts)).
+	Datasets int
+	Replicas int
+	// MinBytes/MaxBytes bound the uniform job-size draw.
+	MinBytes, MaxBytes float64
+	// Window spreads Poisson arrivals over this many virtual seconds.
+	Window sim.Duration
+	// PriorityLevels cycles job priorities 0..n-1 (0 = default level only).
+	PriorityLevels int
+	// Seed drives every draw; the generated workload is a pure function of
+	// (config, seed).
+	Seed int64
+}
+
+// SetDefaults fills zero fields relative to the given host count.
+func (w *WorkloadConfig) SetDefaults(hosts int) {
+	if w.Tenants <= 0 {
+		w.Tenants = 4 * hosts
+	}
+	if w.Jobs <= 0 {
+		w.Jobs = 2 * w.Tenants
+	}
+	if w.Datasets <= 0 {
+		w.Datasets = hosts
+	}
+	if w.Replicas <= 0 {
+		w.Replicas = 3
+	}
+	if w.Replicas > hosts {
+		w.Replicas = hosts
+	}
+	if w.MinBytes <= 0 {
+		w.MinBytes = float64(64 * units.MB)
+	}
+	if w.MaxBytes < w.MinBytes {
+		w.MaxBytes = float64(512 * units.MB)
+	}
+	if w.Window <= 0 {
+		w.Window = 30
+	}
+	if w.PriorityLevels <= 0 {
+		w.PriorityLevels = 1
+	}
+}
+
+// Generate populates the cluster with tenants, replicated datasets, and a
+// Poisson job arrival stream. All draws come from one seeded source
+// consumed in a fixed order before the simulation starts, so the workload
+// is bit-reproducible.
+func Generate(c *Cluster, wcfg WorkloadConfig) {
+	wcfg.SetDefaults(c.Hosts())
+	rng := rand.New(rand.NewSource(wcfg.Seed ^ 0x0a11ca11))
+	c.AddTenants(wcfg.Tenants)
+	hosts := c.Hosts()
+	for d := 0; d < wcfg.Datasets; d++ {
+		// Distinct replica hosts: first copy lands deterministically spread
+		// (d mod hosts), the rest draw without replacement.
+		replicas := []int{d % hosts}
+		for len(replicas) < wcfg.Replicas {
+			cand := rng.Intn(hosts)
+			dup := false
+			for _, r := range replicas {
+				if r == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				replicas = append(replicas, cand)
+			}
+		}
+		c.AddDataset(replicas)
+	}
+	mean := float64(wcfg.Window) / float64(wcfg.Jobs)
+	at := sim.Time(0)
+	for i := 0; i < wcfg.Jobs; i++ {
+		at += sim.Time(rng.ExpFloat64() * mean)
+		tenant := rng.Intn(wcfg.Tenants)
+		dataset := rng.Intn(wcfg.Datasets)
+		dst := rng.Intn(hosts)
+		size := wcfg.MinBytes + rng.Float64()*(wcfg.MaxBytes-wcfg.MinBytes)
+		prio := i % wcfg.PriorityLevels
+		c.Submit(at, tenant, dataset, dst, size, prio)
+	}
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a cumulative value (bytes delivered, messages dropped). It is
+// the registry's cheapest instrument: cluster simulations keep one per host
+// per quantity, so it must be a bare float, not a sampler with a ticker.
+type Counter struct {
+	Name string
+	v    float64
+}
+
+// Add accumulates d into the counter.
+func (c *Counter) Add(d float64) { c.v += d }
+
+// Value returns the accumulated total.
+func (c *Counter) Value() float64 { return c.v }
+
+// Registry is a named collection of instruments (counters, series,
+// histograms). The single-endpoint harnesses that came before the cluster
+// fabric kept ad-hoc package-level instruments, which assume exactly one
+// endpoint process per simulation: a thousand simulated hosts all
+// registering "delivered_bytes" would collide. The registry makes the
+// namespace explicit — each host works inside Namespace("host0042"), and
+// per-host registries Merge into one cluster registry for reporting without
+// collisions.
+//
+// Registration is collision-checked: registering a fully-qualified name
+// twice is an error, because two owners silently sharing one instrument is
+// exactly the bug the cluster report path must not have.
+type Registry struct {
+	prefix string
+	core   *registryCore
+}
+
+// registryCore is the storage shared by a registry and its namespace views.
+type registryCore struct {
+	entries map[string]any
+	order   []string
+}
+
+// NewRegistry returns an empty root registry.
+func NewRegistry() *Registry {
+	return &Registry{core: &registryCore{entries: make(map[string]any)}}
+}
+
+// Namespace returns a view of the registry that prefixes every registered
+// name with name+"/". Views share storage with the root: instruments
+// registered through a view are visible (fully qualified) on the root, which
+// is the per-host → cluster merge path.
+func (r *Registry) Namespace(name string) *Registry {
+	if name == "" || strings.Contains(name, "/") {
+		panic(fmt.Sprintf("metrics: invalid namespace %q", name))
+	}
+	return &Registry{prefix: r.prefix + name + "/", core: r.core}
+}
+
+// qualify returns the full name for a registration through this view.
+func (r *Registry) qualify(name string) string { return r.prefix + name }
+
+// register stores v under the qualified name, rejecting duplicates.
+func (r *Registry) register(name string, v any) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty instrument name")
+	}
+	full := r.qualify(name)
+	if _, dup := r.core.entries[full]; dup {
+		return fmt.Errorf("metrics: duplicate registration of %q", full)
+	}
+	r.core.entries[full] = v
+	r.core.order = append(r.core.order, full)
+	return nil
+}
+
+// Counter registers and returns a new counter under the view's namespace.
+func (r *Registry) Counter(name string) (*Counter, error) {
+	c := &Counter{Name: r.qualify(name)}
+	if err := r.register(name, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustCounter is Counter, panicking on collision (assembly-time bug).
+func (r *Registry) MustCounter(name string) *Counter {
+	c, err := r.Counter(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Series registers and returns a new series under the view's namespace.
+func (r *Registry) Series(name string) (*Series, error) {
+	s := &Series{Name: r.qualify(name)}
+	if err := r.register(name, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Histogram registers and returns a new histogram under the view's
+// namespace, with the given bucket resolution.
+func (r *Registry) Histogram(name string, resolution float64) (*Histogram, error) {
+	h := NewHistogram(resolution)
+	if err := r.register(name, h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Lookup returns the instrument registered under the (namespace-qualified)
+// name, and whether it exists.
+func (r *Registry) Lookup(name string) (any, bool) {
+	v, ok := r.core.entries[r.qualify(name)]
+	return v, ok
+}
+
+// Names returns every fully-qualified instrument name, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.core.order))
+	for _, n := range r.core.order {
+		if strings.HasPrefix(n, r.prefix) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge copies every instrument from src into r's namespace. A name that is
+// already registered is a collision and aborts the merge with an error
+// (nothing is copied); callers that own overlapping hosts must namespace
+// them apart first.
+func (r *Registry) Merge(src *Registry) error {
+	names := src.Names()
+	for _, n := range names {
+		if _, dup := r.core.entries[r.qualify(n)]; dup {
+			return fmt.Errorf("metrics: merge collision on %q", r.qualify(n))
+		}
+	}
+	for _, n := range names {
+		r.core.entries[r.qualify(n)] = src.core.entries[n]
+		r.core.order = append(r.core.order, r.qualify(n))
+	}
+	return nil
+}
+
+// SumCounters sums every counter whose fully-qualified name ends in
+// "/"+suffix (or equals it), the aggregation path for per-host counters:
+// SumCounters("delivered_bytes") over a cluster registry returns cluster
+// aggregate goodput bytes regardless of host count.
+func (r *Registry) SumCounters(suffix string) float64 {
+	total := 0.0
+	for _, n := range r.Names() {
+		if n != suffix && !strings.HasSuffix(n, "/"+suffix) {
+			continue
+		}
+		if c, ok := r.core.entries[n].(*Counter); ok {
+			total += c.v
+		}
+	}
+	return total
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two hosts registering the same instrument name in one shared registry is
+// the single-endpoint assumption the cluster fabric breaks; the registry
+// must reject it rather than silently sharing one counter between hosts.
+func TestRegistryCollisionDetected(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("delivered_bytes"); err != nil {
+		t.Fatalf("first registration failed: %v", err)
+	}
+	if _, err := r.Counter("delivered_bytes"); err == nil {
+		t.Fatal("duplicate registration must error")
+	} else if !strings.Contains(err.Error(), "delivered_bytes") {
+		t.Fatalf("error should name the colliding instrument, got %v", err)
+	}
+}
+
+func TestRegistryNamespacePreventsCollision(t *testing.T) {
+	r := NewRegistry()
+	a := r.Namespace("host0000").MustCounter("delivered_bytes")
+	b := r.Namespace("host0001").MustCounter("delivered_bytes")
+	if a == b {
+		t.Fatal("namespaced counters must be distinct instruments")
+	}
+	a.Add(10)
+	b.Add(32)
+	if got := r.SumCounters("delivered_bytes"); got != 42 {
+		t.Fatalf("SumCounters = %v, want 42", got)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "host0000/delivered_bytes" || names[1] != "host0001/delivered_bytes" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	root := NewRegistry()
+	h0 := NewRegistry()
+	h0.MustCounter("delivered_bytes").Add(7)
+	h1 := NewRegistry()
+	h1.MustCounter("delivered_bytes").Add(5)
+
+	if err := root.Namespace("host0000").Merge(h0); err != nil {
+		t.Fatalf("merge h0: %v", err)
+	}
+	if err := root.Namespace("host0001").Merge(h1); err != nil {
+		t.Fatalf("merge h1: %v", err)
+	}
+	if got := root.SumCounters("delivered_bytes"); got != 12 {
+		t.Fatalf("SumCounters = %v, want 12", got)
+	}
+
+	// Merging a second registry into an already-used namespace collides and
+	// must leave the target untouched.
+	h2 := NewRegistry()
+	h2.MustCounter("delivered_bytes").Add(99)
+	if err := root.Namespace("host0001").Merge(h2); err == nil {
+		t.Fatal("colliding merge must error")
+	}
+	if got := root.SumCounters("delivered_bytes"); got != 12 {
+		t.Fatalf("failed merge must not alter registry: sum = %v, want 12", got)
+	}
+}
+
+func TestRegistryMixedInstruments(t *testing.T) {
+	r := NewRegistry()
+	ns := r.Namespace("shard0")
+	s, err := ns.Series("goodput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add(0, 1)
+	h, err := ns.Histogram("decision_us", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(3)
+	if _, ok := ns.Lookup("goodput"); !ok {
+		t.Fatal("Lookup through namespace failed")
+	}
+	if _, ok := r.Lookup("shard0/decision_us"); !ok {
+		t.Fatal("Lookup through root failed")
+	}
+	// A series name does not collide with a counter of a different name,
+	// but does collide with any instrument of the same name.
+	if _, err := ns.Counter("goodput"); err == nil {
+		t.Fatal("cross-kind duplicate must error")
+	}
+}
