@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke cluster-smoke bench-pr6
+.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke cluster-smoke chaos-smoke bench-pr6
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,16 @@ placer-smoke:
 cluster-smoke:
 	$(GO) test -race ./internal/cluster ./internal/fabric
 	$(GO) run ./cmd/xfersched -cluster -hosts 100 -ctenants 500 -drop 5 -seed 7 -replay-check
+
+# Cluster failure-domain gate: the chaos determinism suites under the race
+# detector, then a 100-host run through the CLI with a host crash-stop, a
+# leader-controller kill and a control-plane partition — the process exits
+# non-zero unless delivery is exactly-once, no shard stays degraded, and a
+# second same-seed run hashes bit-identically (CI runs this).
+chaos-smoke:
+	$(GO) test -race -run 'Chaos|Lease|Crash|Partition|GivesUp|LeaderKill' ./internal/cluster ./internal/faults
+	$(GO) run ./cmd/xfersched -cluster -hosts 100 -shards 8 -ctenants 400 -cjobs 1200 -drop 2 -seed 7 \
+		-kill-host 7@8+8 -kill-ctrl 0@15 -partition 5,6,7@20+6 -replay-check
 
 # Full S5 scaling sweep (100/300/1000 hosts, each run twice) → BENCH_PR6.json.
 # Takes several minutes; not part of CI.

@@ -25,6 +25,15 @@
 //	xfersched -cluster -hosts 300 -topology fat-tree -ctenants 3000
 //	xfersched -cluster -hosts 100 -ctenants 500 -drop 5 -replay-check
 //
+// Cluster mode has its own failure domains — crash-stop hosts, crash-stop
+// shard controllers, control-plane partitions, and spine-switch outages —
+// each virtual-time-stamped so the chaos timeline replays bit-identically:
+//
+//	xfersched -cluster -hosts 100 -kill-host 7@8+8       # host 7 dark 8s..16s
+//	xfersched -cluster -kill-ctrl 0@15                   # leader controller dies at 15s
+//	xfersched -cluster -partition 5,6,7@20+6             # shards 5-7 severed 20s..26s
+//	xfersched -cluster -kill-spine 1@10+5 -replay-check  # spine 1 dark 10s..15s
+//
 // With -chaos (or -fail) the injected fault schedule is echoed alongside
 // the outcome tables, so a report records exactly what the run survived.
 package main
@@ -37,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 
+	"e2edt/internal/cluster"
 	"e2edt/internal/core"
 	"e2edt/internal/experiments"
 	"e2edt/internal/fabric"
@@ -86,6 +96,10 @@ func main() {
 	ctenants := flag.Int("ctenants", 0, "cluster mode: tenant count (default 10 per host)")
 	cjobs := flag.Int("cjobs", 0, "cluster mode: job count (default 2 per tenant)")
 	replayCheck := flag.Bool("replay-check", false, "cluster mode: run the scenario twice and fail unless the traces hash identically")
+	killHost := flag.String("kill-host", "", "cluster mode: crash-stop a host, as id@seconds[+downtime] (e.g. 7@8+8; no +downtime = never restarts)")
+	killCtrl := flag.String("kill-ctrl", "", "cluster mode: permanently crash-stop a shard controller, as shard@seconds (e.g. 0@15)")
+	killSpine := flag.String("kill-spine", "", "cluster mode: fail every trunk of a spine switch, as spine@seconds[+downtime]")
+	partition := flag.String("partition", "", "cluster mode: sever shards from the control plane, as ids@seconds+window (e.g. 5,6,7@20+6)")
 	flag.Parse()
 
 	if *clusterMode {
@@ -93,6 +107,8 @@ func main() {
 			hosts: *hosts, shards: *shards, drop: *drop, topology: *topology,
 			tenants: *ctenants, jobs: *cjobs, seed: *seed,
 			replayCheck: *replayCheck, md: *md,
+			killHost: *killHost, killCtrl: *killCtrl,
+			killSpine: *killSpine, partition: *partition,
 		})
 		return
 	}
@@ -262,6 +278,8 @@ type clusterFlags struct {
 	seed          int64
 	replayCheck   bool
 	md            bool
+
+	killHost, killCtrl, killSpine, partition string
 }
 
 // runCluster drives the sharded-control-plane fabric scenario and prints
@@ -272,17 +290,23 @@ func runCluster(f clusterFlags) {
 	if _, err := fabric.ParseTopoKind(f.topology); err != nil {
 		fatal(err)
 	}
-	if f.hosts < 2 {
-		fatal(fmt.Errorf("-hosts must be at least 2, got %d", f.hosts))
-	}
-	if f.shards < 1 {
-		fatal(fmt.Errorf("-shards must be at least 1, got %d", f.shards))
-	}
 	if f.tenants <= 0 {
 		f.tenants = 10 * f.hosts
 	}
 	if f.jobs <= 0 {
 		f.jobs = 2 * f.tenants
+	}
+	// Reject invalid shapes before the run starts, with the model's own
+	// error text: the CLI surfaces what cluster.Config.Validate rejects
+	// rather than silently repairing it.
+	if err := (cluster.Config{
+		Hosts: f.hosts, Shards: f.shards, DropPct: f.drop, Seed: f.seed,
+	}).Validate(); err != nil {
+		fatal(err)
+	}
+	chaos, err := parseChaos(f)
+	if err != nil {
+		fatal(err)
 	}
 	spec := experiments.ClusterRunSpec{
 		Hosts:    f.hosts,
@@ -292,6 +316,7 @@ func runCluster(f clusterFlags) {
 		DropPct:  f.drop,
 		Topology: f.topology,
 		Seed:     f.seed,
+		Chaos:    chaos,
 	}
 	res := experiments.RunClusterPoint(spec)
 	// Echo the schedule and topology the run used, in the -chaos/-rails
@@ -299,6 +324,20 @@ func runCluster(f clusterFlags) {
 	fmt.Printf("cluster: %s\n", res.Topology)
 	fmt.Printf("schedule: %d shards, %d tenants, %d jobs, drop %.1f%%, seed %d\n",
 		f.shards, f.tenants, f.jobs, f.drop, f.seed)
+	if chaos != nil {
+		for _, k := range chaos.HostKills {
+			fmt.Printf("chaos: host %d crash-stops at %.1fs (down %.1fs; 0 = forever)\n", k.Host, float64(k.At), float64(k.Down))
+		}
+		for _, k := range chaos.CtrlKills {
+			fmt.Printf("chaos: shard controller %d crash-stops at %.1fs\n", k.Shard, float64(k.At))
+		}
+		for _, p := range chaos.Partitions {
+			fmt.Printf("chaos: shards %v severed at %.1fs for %.1fs\n", p.Shards, float64(p.At), float64(p.For))
+		}
+		for _, k := range chaos.SpineKills {
+			fmt.Printf("chaos: spine %d dark at %.1fs (down %.1fs; 0 = forever)\n", k.Spine, float64(k.At), float64(k.Down))
+		}
+	}
 	tb := res.Report.Table()
 	if f.md {
 		fmt.Println(tb.Markdown())
@@ -306,6 +345,17 @@ func runCluster(f clusterFlags) {
 		fmt.Println(tb)
 	}
 	fmt.Printf("replay sha256: %s (%d events, %.1fs wall)\n", res.TraceSHA, res.TraceEvents, res.WallSeconds)
+	if res.ExactlyOnce != nil {
+		fmt.Fprintf(os.Stderr, "xfersched: delivery audit FAILED: %v\n", res.ExactlyOnce)
+		os.Exit(1)
+	}
+	if res.DegradedAtEnd != 0 {
+		fmt.Fprintf(os.Stderr, "xfersched: %d shards still degraded at end of run\n", res.DegradedAtEnd)
+		os.Exit(1)
+	}
+	if chaos != nil {
+		fmt.Println("delivery audit: OK (every done job completed exactly once; byte ledgers agree)")
+	}
 	if f.replayCheck {
 		again := experiments.RunClusterPoint(spec)
 		if again.TraceSHA != res.TraceSHA {
@@ -314,6 +364,99 @@ func runCluster(f clusterFlags) {
 		}
 		fmt.Printf("replay check: OK (second run bit-identical, %d events)\n", again.TraceEvents)
 	}
+}
+
+// parseChaos assembles the cluster-mode fault timeline from the CLI knobs.
+func parseChaos(f clusterFlags) (*experiments.ChaosSpec, error) {
+	if f.killHost == "" && f.killCtrl == "" && f.killSpine == "" && f.partition == "" {
+		return nil, nil
+	}
+	spec := &experiments.ChaosSpec{}
+	if f.killHost != "" {
+		id, at, down, err := parseAtDown("-kill-host", f.killHost)
+		if err != nil {
+			return nil, err
+		}
+		if id >= f.hosts {
+			return nil, fmt.Errorf("-kill-host %d: the run has hosts 0..%d", id, f.hosts-1)
+		}
+		spec.HostKills = append(spec.HostKills, experiments.HostKill{Host: id, At: at, Down: down})
+	}
+	if f.killCtrl != "" {
+		id, at, down, err := parseAtDown("-kill-ctrl", f.killCtrl)
+		if err != nil {
+			return nil, err
+		}
+		if down != 0 {
+			return nil, fmt.Errorf("-kill-ctrl: controller crashes are permanent; drop the +downtime")
+		}
+		if id >= f.shards {
+			return nil, fmt.Errorf("-kill-ctrl %d: the run has shards 0..%d", id, f.shards-1)
+		}
+		spec.CtrlKills = append(spec.CtrlKills, experiments.CtrlKill{Shard: id, At: at})
+	}
+	if f.killSpine != "" {
+		id, at, down, err := parseAtDown("-kill-spine", f.killSpine)
+		if err != nil {
+			return nil, err
+		}
+		spec.SpineKills = append(spec.SpineKills, experiments.SpineKill{Spine: id, At: at, Down: down})
+	}
+	if f.partition != "" {
+		idsStr, spanStr, found := strings.Cut(f.partition, "@")
+		if !found {
+			return nil, fmt.Errorf("bad -partition %q: want ids@seconds+window, e.g. 5,6,7@20+6", f.partition)
+		}
+		var ids []int
+		for _, s := range strings.Split(idsStr, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("bad -partition shard id %q", s)
+			}
+			if id < 0 || id >= f.shards {
+				return nil, fmt.Errorf("-partition shard %d: the run has shards 0..%d", id, f.shards-1)
+			}
+			ids = append(ids, id)
+		}
+		atStr, forStr, found := strings.Cut(spanStr, "+")
+		if !found {
+			return nil, fmt.Errorf("bad -partition %q: a partition needs a heal window, e.g. @20+6", f.partition)
+		}
+		at, err1 := strconv.ParseFloat(atStr, 64)
+		dur, err2 := strconv.ParseFloat(forStr, 64)
+		if err1 != nil || err2 != nil || at < 0 || dur <= 0 {
+			return nil, fmt.Errorf("bad -partition window %q: want seconds+window, both positive", spanStr)
+		}
+		spec.Partitions = append(spec.Partitions, experiments.PartitionSpec{
+			Shards: ids, At: sim.Time(at), For: sim.Duration(dur),
+		})
+	}
+	return spec, nil
+}
+
+// parseAtDown reads "id@seconds" or "id@seconds+downtime".
+func parseAtDown(flagName, s string) (id int, at sim.Time, down sim.Duration, err error) {
+	idStr, rest, found := strings.Cut(s, "@")
+	if !found {
+		return 0, 0, 0, fmt.Errorf("bad %s %q: want id@seconds[+downtime], e.g. 7@8+8", flagName, s)
+	}
+	id, err = strconv.Atoi(idStr)
+	if err != nil || id < 0 {
+		return 0, 0, 0, fmt.Errorf("bad %s id %q", flagName, idStr)
+	}
+	atStr, downStr, hasDown := strings.Cut(rest, "+")
+	atF, err := strconv.ParseFloat(atStr, 64)
+	if err != nil || atF < 0 {
+		return 0, 0, 0, fmt.Errorf("bad %s time %q: want a non-negative virtual second", flagName, atStr)
+	}
+	var downF float64
+	if hasDown {
+		downF, err = strconv.ParseFloat(downStr, 64)
+		if err != nil || downF <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad %s downtime %q: want a positive duration", flagName, downStr)
+		}
+	}
+	return id, sim.Time(atF), sim.Duration(downF), nil
 }
 
 // utilzTable renders the fluid utilization snapshot, dropping never-loaded

@@ -85,15 +85,74 @@ type Config struct {
 	CtrlRetries    int          // submit retries before a job is lost
 	ReconcileEvery sim.Duration // digest/adjust reconciliation interval
 
+	// Failure-domain model.
+	//
+	// Hosts heartbeat to their owning shard every HeartbeatEvery. Beats are
+	// tiny and sprayed, so the model treats the channel as reliable and
+	// represents the detector by its latency: the owner declares a host
+	// dead once MissedBeats intervals pass without a beat.
+	HeartbeatEvery sim.Duration // host heartbeat interval (default 0.5)
+	MissedBeats    int          // missed intervals before a host is declared dead (default 3)
+	// Leadership is a lease: the leader broadcasts term-stamped leases
+	// every LeaseEvery; a follower that hears nothing for LeaseTimeout
+	// enters degraded mode (adjust clamped to 1, local weighted fair share)
+	// and runs for leader after a deterministic per-shard stagger of
+	// ElectStagger × (id+1).
+	LeaseEvery   sim.Duration // leader lease broadcast interval (default 0.5)
+	LeaseTimeout sim.Duration // lease age at which a follower degrades/runs (default 2)
+	ElectStagger sim.Duration // per-shard candidacy stagger unit (default 0.5)
+	// GiveUpAfter bounds how long a queued job waits on a declared-dead
+	// destination (or an all-dead replica set) before it is marked lost, so
+	// a permanent crash cannot wedge the run (default 30).
+	GiveUpAfter sim.Duration
+
 	// Seed drives workload generation and RPC drops.
 	Seed int64
 }
 
-// SetDefaults fills zero fields with the standard cluster profile.
-func (c *Config) SetDefaults() {
-	if c.Shards <= 0 {
-		c.Shards = 1
+// Validate rejects configurations that previous versions silently
+// "corrected": a zero-shard control plane, a negative or certain-loss drop
+// rate, negative model durations. SetDefaults still fills zero shape
+// fields; Validate draws the line between "unset" and "wrong".
+func (c Config) Validate() error {
+	if c.Hosts <= 0 {
+		return fmt.Errorf("cluster: Hosts must be ≥ 1, got %d", c.Hosts)
 	}
+	if c.Shards <= 0 {
+		return fmt.Errorf("cluster: Shards must be ≥ 1, got %d (the control plane needs at least one shard)", c.Shards)
+	}
+	if c.DropPct < 0 || c.DropPct >= 100 {
+		return fmt.Errorf("cluster: DropPct must be in [0, 100), got %g", c.DropPct)
+	}
+	if c.Rails < 0 {
+		return fmt.Errorf("cluster: Rails must not be negative, got %d", c.Rails)
+	}
+	if c.CtrlRetries < 0 {
+		return fmt.Errorf("cluster: CtrlRetries must not be negative, got %d", c.CtrlRetries)
+	}
+	if c.MissedBeats < 0 {
+		return fmt.Errorf("cluster: MissedBeats must not be negative, got %d", c.MissedBeats)
+	}
+	for _, d := range []struct {
+		name string
+		v    sim.Duration
+	}{
+		{"HostRTT", c.HostRTT}, {"UplinkRTT", c.UplinkRTT},
+		{"CtrlDelay", c.CtrlDelay}, {"CtrlTimeout", c.CtrlTimeout},
+		{"ReconcileEvery", c.ReconcileEvery}, {"HeartbeatEvery", c.HeartbeatEvery},
+		{"LeaseEvery", c.LeaseEvery}, {"LeaseTimeout", c.LeaseTimeout},
+		{"ElectStagger", c.ElectStagger}, {"GiveUpAfter", c.GiveUpAfter},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("cluster: %s must not be negative, got %g", d.name, float64(d.v))
+		}
+	}
+	return nil
+}
+
+// SetDefaults fills zero fields with the standard cluster profile. It does
+// not repair invalid values — Validate rejects those.
+func (c *Config) SetDefaults() {
 	if c.HostsPerLeaf <= 0 {
 		c.HostsPerLeaf = 32
 	}
@@ -162,6 +221,24 @@ func (c *Config) SetDefaults() {
 	if c.ReconcileEvery <= 0 {
 		c.ReconcileEvery = 0.25
 	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 0.5
+	}
+	if c.MissedBeats <= 0 {
+		c.MissedBeats = 3
+	}
+	if c.LeaseEvery <= 0 {
+		c.LeaseEvery = 0.5
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 2
+	}
+	if c.ElectStagger <= 0 {
+		c.ElectStagger = 0.5
+	}
+	if c.GiveUpAfter <= 0 {
+		c.GiveUpAfter = 30
+	}
 }
 
 // hostNode is one simulated endpoint: a NUMA host, its pooled worker
@@ -215,7 +292,14 @@ type job struct {
 	retries int
 	src     int // chosen replica at admission
 	flow    *fluid.Flow
+	xfer    *fluid.Transfer
+	hops    []fabric.Hop // charged route (nil for host-local copies)
 	shard   *shard
+
+	// ckpt is the resume offset: bytes already acked at the destination.
+	// A source crash preserves it (resume-from-acked-offset); a destination
+	// crash zeroes it (the staging memory died with the host).
+	ckpt float64
 }
 
 // Cluster is the assembled simulation: hosts on a fabric plus the sharded
@@ -243,7 +327,21 @@ type Cluster struct {
 
 	ctlRng *rand.Rand // control-plane drops; drawn in event order only
 
-	remaining int // jobs not yet done or lost
+	remaining int  // jobs not yet done or lost
+	done      bool // true once every job retired (tickers stopped)
+
+	// Failure-domain state. hostDown/crashedAt are physical truth (set the
+	// instant a fault fires); deadDeclared/declaredAt are the control
+	// plane's lagging view (set when the owner's detector trips).
+	ownerOf      []int // host → owning shard id (reassigned at adoption)
+	hostDown     []bool
+	crashedAt    []sim.Time
+	deadDeclared []bool
+	declaredAt   []sim.Time
+	completions  []int // per-job completion count (exactly-once audit)
+
+	partitioned bool
+	partSide    []bool // per-shard partition side (true = severed group)
 
 	// Control-plane tallies (ints, not instruments: they feed the report).
 	CtrlDrops   int
@@ -251,6 +349,22 @@ type Cluster struct {
 	JobsLost    int
 	Digests     int
 	Adjusts     int
+
+	// Failure-plane tallies.
+	HostFails     int // crash-stop events
+	HostRestores  int // cold restarts
+	DeadDeclared  int // owner detector declarations
+	JobsRequeued  int // running jobs pulled back to a queue (all causes)
+	Reroutes      int // requeues caused by dead fabric links
+	VoidedJobs    int // completions voided because the destination had died
+	Elections     int // successful leader elections
+	Adoptions     int // orphaned-shard takeovers
+	StaleLeases   int // lease messages rejected by term/id ordering
+	StaleAdjusts  int // adjust broadcasts rejected as stale
+	DegradedIn    int // degraded-mode entries
+	DegradedOut   int // degraded-mode exits
+	PartDrops     int // control messages severed by a partition
+	CtrlFailCount int // controller crash-stops
 
 	// Locality outcome histogram (index localitySame..localityCore).
 	Locality [4]int
@@ -271,10 +385,10 @@ const (
 // New assembles hosts, fabric, and shards. The workload is attached with
 // Submit or by the Generate helper; Run drains everything.
 func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
-	cfg.SetDefaults()
-	if cfg.Hosts <= 0 {
-		return nil, fmt.Errorf("cluster: needs at least one host")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	cfg.SetDefaults()
 	c := &Cluster{
 		Cfg:         cfg,
 		Eng:         eng,
@@ -314,6 +428,27 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	c.Topo = topo
 	for k := 0; k < cfg.Shards; k++ {
 		c.shards = append(c.shards, newShard(c, k))
+	}
+	c.ownerOf = make([]int, cfg.Hosts)
+	c.hostDown = make([]bool, cfg.Hosts)
+	c.crashedAt = make([]sim.Time, cfg.Hosts)
+	c.deadDeclared = make([]bool, cfg.Hosts)
+	c.declaredAt = make([]sim.Time, cfg.Hosts)
+	for h := 0; h < cfg.Hosts; h++ {
+		c.ownerOf[h] = h % cfg.Shards
+		c.crashedAt[h] = -1
+	}
+	c.partSide = make([]bool, cfg.Shards)
+	// A dead switch trunk strands the flows routed over it; re-route them
+	// as the ECMP tables reconverge. Access-link failures are host crashes
+	// and go through the heartbeat detector instead.
+	for _, l := range topo.Uplinks() {
+		l := l
+		l.Watch(func(ev fabric.Event) {
+			if ev.Kind == fabric.EventDown {
+				c.rerouteAround(l)
+			}
+		})
 	}
 	return c, nil
 }
@@ -359,8 +494,35 @@ func (c *Cluster) newHost(i int) (*hostNode, error) {
 // port returns the fabric port index for host h, rail r.
 func (c *Cluster) port(h, rail int) int { return h*c.Cfg.Rails + rail }
 
-// owner returns the shard owning host h.
-func (c *Cluster) owner(h int) *shard { return c.shards[h%len(c.shards)] }
+// owner returns the shard currently owning host h. Ownership starts at
+// h mod K and moves when a dead controller's hosts are adopted.
+func (c *Cluster) owner(h int) *shard { return c.shards[c.ownerOf[h]] }
+
+// severed reports whether a control-plane partition cuts shard a off from
+// shard b. Severed sends drop deterministically — no loss coin is drawn, so
+// partitions do not perturb the seeded drop sequence.
+func (c *Cluster) severed(a, b int) bool {
+	return c.partitioned && c.partSide[a] != c.partSide[b]
+}
+
+// sendCtrl delivers fn to shard `to` over the lossy control plane: severed
+// partitions and dead controllers drop the message, the seeded loss coin
+// may drop it, and survivors arrive after CtrlDelay. Reports acceptance.
+func (c *Cluster) sendCtrl(from, to *shard, fn func()) bool {
+	if !to.alive {
+		return false
+	}
+	if c.severed(from.id, to.id) {
+		c.PartDrops++
+		return false
+	}
+	if c.dropped() {
+		c.CtrlDrops++
+		return false
+	}
+	c.Eng.Schedule(c.Cfg.CtrlDelay, fn)
+	return true
+}
 
 // AddTenants registers n tenants; tenant t gets weight 1 + t mod 4 (four
 // service classes, as the S-series experiments use).
@@ -392,17 +554,25 @@ func (c *Cluster) Submit(at sim.Time, tenantID, dataset, dst int, size float64, 
 		priority: priority,
 	}
 	c.jobs = append(c.jobs, j)
+	c.completions = append(c.completions, 0)
 	c.remaining++
 	c.Eng.At(at, func() { c.submitRPC(j) })
 	return j
 }
 
 // submitRPC attempts delivery of j's submit message to its owning shard,
-// retrying on (seeded) drops until CtrlRetries is exhausted.
+// retrying on (seeded) drops — and on a crashed controller, which answers
+// nothing — until CtrlRetries is exhausted. Ownership is re-resolved on
+// every retry, so submissions ride out a failover if their retry budget
+// outlives the orphan window.
 func (c *Cluster) submitRPC(j *job) {
 	sh := c.owner(j.dst)
-	if c.dropped() {
-		c.CtrlDrops++
+	// A dead controller is a deterministic timeout: no loss coin is drawn
+	// for a socket nobody answers.
+	if lost := !sh.alive || c.dropped(); lost {
+		if sh.alive {
+			c.CtrlDrops++
+		}
 		if j.retries >= c.Cfg.CtrlRetries {
 			j.state = jobLost
 			c.JobsLost++
@@ -417,7 +587,8 @@ func (c *Cluster) submitRPC(j *job) {
 	}
 	c.Eng.Schedule(c.Cfg.CtrlDelay, func() {
 		j.submit = c.Eng.Now()
-		sh.enqueue(j)
+		// Ownership may have moved between send and delivery.
+		c.owner(j.dst).enqueue(j)
 	})
 }
 
@@ -447,7 +618,8 @@ func (c *Cluster) locality(src, dst int) int {
 }
 
 // start activates an admitted job: builds the flow over the chosen route
-// and charges both endpoints' CPU/memory plus every fabric hop.
+// and charges both endpoints' CPU/memory plus every fabric hop. A job with
+// a checkpoint resumes: only size−ckpt bytes cross the wire again.
 func (c *Cluster) start(j *job, sh *shard) {
 	src, dst := c.hosts[j.src], c.hosts[j.dst]
 	srcT, srcBuf := src.worker()
@@ -459,10 +631,12 @@ func (c *Cluster) start(j *job, sh *shard) {
 	if loc == localitySame {
 		// Replica already on the destination host: a local NUMA copy.
 		dstT.ChargeCopy(f, srcBuf, dstBuf, 1, c.Cfg.CPUPerByte, host.CatCopy)
+		j.hops = nil
 	} else {
 		rail := int(uint64(j.id) % uint64(c.Cfg.Rails))
 		sp, dp := c.port(j.src, rail), c.port(j.dst, rail)
 		hops := c.Topo.Route(sp, dp, uint64(j.id))
+		j.hops = hops
 		fabric.ChargeRoute(f, hops, 1, "wire")
 		srcT.ChargeCPU(f, c.Cfg.CPUPerByte, host.CatUser)
 		srcT.ChargeMemory(f, srcBuf, 1, false, host.CatUser)
@@ -477,23 +651,51 @@ func (c *Cluster) start(j *job, sh *shard) {
 	dst.dstJobs.Add(1)
 	j.state = jobRunning
 	j.shard = sh
-	c.Eng.Tracef("cluster", "shard %d starts job %d tenant %d %s→%s (%s, loc %d)",
-		sh.id, j.id, j.tenant, src.h.Name, dst.h.Name, units.FormatBytes(int64(j.size)), loc)
-	c.FSim.Start(&fluid.Transfer{
+	remaining := j.size - j.ckpt
+	if remaining <= 0 {
+		// The crash landed between the last byte and the completion event;
+		// re-ack the tail rather than special-casing an empty transfer.
+		remaining = 1
+	}
+	if j.ckpt > 0 {
+		c.Eng.Tracef("cluster", "shard %d resumes job %d tenant %d %s→%s from %.0f/%.0f",
+			sh.id, j.id, j.tenant, src.h.Name, dst.h.Name, j.ckpt, j.size)
+	} else {
+		c.Eng.Tracef("cluster", "shard %d starts job %d tenant %d %s→%s (%s, loc %d)",
+			sh.id, j.id, j.tenant, src.h.Name, dst.h.Name, units.FormatBytes(int64(j.size)), loc)
+	}
+	j.xfer = &fluid.Transfer{
 		Flow:       f,
-		Remaining:  j.size,
+		Remaining:  remaining,
 		OnComplete: func(now sim.Time) { c.finish(j, now) },
-	})
+	}
+	c.FSim.Start(j.xfer)
 }
 
 // finish handles transfer completion: accounting, fair-share bookkeeping,
-// and re-admission kicks for the shards whose hosts freed capacity.
+// and re-admission kicks for the shards whose hosts freed capacity. A
+// completion racing a destination crash is voided — the landing never
+// committed — and the job restarts from zero on the recovery path, which
+// is what keeps delivery exactly-once instead of at-most-once.
 func (c *Cluster) finish(j *job, now sim.Time) {
 	src, dst := c.hosts[j.src], c.hosts[j.dst]
+	if c.hostDown[j.dst] {
+		src.srcActive--
+		dst.dstActive--
+		j.ckpt = 0
+		j.xfer, j.flow, j.hops = nil, nil, nil
+		c.VoidedJobs++
+		c.JobsRequeued++
+		c.Eng.Tracef("cluster", "job %d completion voided: %s died before commit", j.id, dst.h.Name)
+		j.shard.removeRunning(j)
+		j.shard.insert(j)
+		return
+	}
 	src.srcActive--
 	dst.dstActive--
 	dst.delivered.Add(j.size)
 	j.state = jobDone
+	c.completions[j.id]++
 	j.shard.jobDone(j)
 	c.Eng.Tracef("cluster", "job %d done (%s to %s)", j.id, units.FormatBytes(int64(j.size)), dst.h.Name)
 	c.jobFinished()
@@ -510,6 +712,7 @@ func (c *Cluster) finish(j *job, now sim.Time) {
 func (c *Cluster) jobFinished() {
 	c.remaining--
 	if c.remaining == 0 {
+		c.done = true
 		for _, sh := range c.shards {
 			sh.stop()
 		}
@@ -526,10 +729,15 @@ func (c *Cluster) Run() {
 	c.Eng.Run()
 	c.FSim.Sync()
 	// A final deterministic counters line folds aggregate outcomes into the
-	// trace, so replay verification covers accounting, not just event order.
+	// trace, so replay verification covers accounting — including the whole
+	// failure plane — not just event order.
 	c.Eng.Tracef("cluster", "final delivered=%.0f drops=%d resends=%d lost=%d digests=%d adjusts=%d loc=%v",
 		c.Registry.SumCounters("delivered_bytes"), c.CtrlDrops, c.CtrlResends,
 		c.JobsLost, c.Digests, c.Adjusts, c.Locality)
+	c.Eng.Tracef("cluster", "final failures hostfail=%d restore=%d declared=%d requeued=%d rerouted=%d voided=%d elections=%d adoptions=%d stale=%d/%d degraded=%d/%d partdrops=%d",
+		c.HostFails, c.HostRestores, c.DeadDeclared, c.JobsRequeued, c.Reroutes,
+		c.VoidedJobs, c.Elections, c.Adoptions, c.StaleLeases, c.StaleAdjusts,
+		c.DegradedIn, c.DegradedOut, c.PartDrops)
 }
 
 // Hosts returns the number of simulated hosts.

@@ -21,7 +21,9 @@ func runHashed(t *testing.T, cfg Config, wcfg WorkloadConfig) (string, uint64, R
 	if err != nil {
 		t.Fatal(err)
 	}
-	Generate(c, wcfg)
+	if err := Generate(c, wcfg); err != nil {
+		t.Fatal(err)
+	}
 	c.Run()
 	return h.Sum(), h.Events(), c.Report()
 }

@@ -27,6 +27,14 @@ type Report struct {
 	CtrlDrops, CtrlResends, JobsLost int
 	Digests, Adjusts                 int
 
+	// Failure-plane outcomes.
+	HostFails, HostRestores, DeadDeclared int
+	JobsRequeued, Reroutes, VoidedJobs    int
+	Elections, Adoptions                  int
+	StaleLeases, StaleAdjusts             int
+	DegradedIn, DegradedOut               int
+	PartDrops, CtrlFails                  int
+
 	// Locality outcomes: how many admitted jobs read a replica on the
 	// destination host / leaf / pod / across the core.
 	LocalSame, LocalLeaf, LocalPod, LocalCore int
@@ -54,6 +62,20 @@ func (c *Cluster) Report() Report {
 		JobsLost:       c.JobsLost,
 		Digests:        c.Digests,
 		Adjusts:        c.Adjusts,
+		HostFails:      c.HostFails,
+		HostRestores:   c.HostRestores,
+		DeadDeclared:   c.DeadDeclared,
+		JobsRequeued:   c.JobsRequeued,
+		Reroutes:       c.Reroutes,
+		VoidedJobs:     c.VoidedJobs,
+		Elections:      c.Elections,
+		Adoptions:      c.Adoptions,
+		StaleLeases:    c.StaleLeases,
+		StaleAdjusts:   c.StaleAdjusts,
+		DegradedIn:     c.DegradedIn,
+		DegradedOut:    c.DegradedOut,
+		PartDrops:      c.PartDrops,
+		CtrlFails:      c.CtrlFailCount,
 		LocalSame:      c.Locality[localitySame],
 		LocalLeaf:      c.Locality[localityLeaf],
 		LocalPod:       c.Locality[localityPod],
@@ -83,6 +105,17 @@ func (r Report) Table() *metrics.Table {
 	t.AddRow("ctrl drops / resends", fmt.Sprintf("%d / %d", r.CtrlDrops, r.CtrlResends))
 	t.AddRow("jobs lost", fmt.Sprintf("%d", r.JobsLost))
 	t.AddRow("digests / adjusts", fmt.Sprintf("%d / %d", r.Digests, r.Adjusts))
+	if r.HostFails+r.CtrlFails+r.PartDrops+r.Reroutes > 0 {
+		t.AddRow("host fails / restores", fmt.Sprintf("%d / %d", r.HostFails, r.HostRestores))
+		t.AddRow("dead declared", fmt.Sprintf("%d", r.DeadDeclared))
+		t.AddRow("requeued / rerouted / voided", fmt.Sprintf("%d / %d / %d",
+			r.JobsRequeued, r.Reroutes, r.VoidedJobs))
+		t.AddRow("ctrl fails / adoptions", fmt.Sprintf("%d / %d", r.CtrlFails, r.Adoptions))
+		t.AddRow("elections", fmt.Sprintf("%d", r.Elections))
+		t.AddRow("stale leases / adjusts", fmt.Sprintf("%d / %d", r.StaleLeases, r.StaleAdjusts))
+		t.AddRow("degraded in / out", fmt.Sprintf("%d / %d", r.DegradedIn, r.DegradedOut))
+		t.AddRow("partition drops", fmt.Sprintf("%d", r.PartDrops))
+	}
 	t.AddRow("locality same/leaf/pod/core", fmt.Sprintf("%d / %d / %d / %d",
 		r.LocalSame, r.LocalLeaf, r.LocalPod, r.LocalCore))
 	return t

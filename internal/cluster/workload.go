@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 
 	"e2edt/internal/sim"
@@ -28,7 +29,40 @@ type WorkloadConfig struct {
 	Seed int64
 }
 
-// SetDefaults fills zero fields relative to the given host count.
+// Validate rejects workload shapes that previous versions silently
+// clamped: more replicas than hosts to place them on, negative counts,
+// inverted size bounds. Zero fields are still "unset" and filled by
+// SetDefaults.
+func (w WorkloadConfig) Validate(hosts int) error {
+	if w.Replicas > hosts {
+		return fmt.Errorf("cluster: Replicas %d exceeds Hosts %d (a dataset cannot have more copies than hosts)", w.Replicas, hosts)
+	}
+	for _, n := range []struct {
+		name string
+		v    int
+	}{
+		{"Tenants", w.Tenants}, {"Jobs", w.Jobs},
+		{"Datasets", w.Datasets}, {"Replicas", w.Replicas},
+		{"PriorityLevels", w.PriorityLevels},
+	} {
+		if n.v < 0 {
+			return fmt.Errorf("cluster: %s must not be negative, got %d", n.name, n.v)
+		}
+	}
+	if w.MinBytes < 0 {
+		return fmt.Errorf("cluster: MinBytes must not be negative, got %g", w.MinBytes)
+	}
+	if w.MaxBytes > 0 && w.MinBytes > w.MaxBytes {
+		return fmt.Errorf("cluster: MinBytes %g exceeds MaxBytes %g", w.MinBytes, w.MaxBytes)
+	}
+	if w.Window < 0 {
+		return fmt.Errorf("cluster: Window must not be negative, got %g", float64(w.Window))
+	}
+	return nil
+}
+
+// SetDefaults fills zero fields relative to the given host count. It does
+// not repair invalid values — Validate rejects those.
 func (w *WorkloadConfig) SetDefaults(hosts int) {
 	if w.Tenants <= 0 {
 		w.Tenants = 4 * hosts
@@ -41,9 +75,9 @@ func (w *WorkloadConfig) SetDefaults(hosts int) {
 	}
 	if w.Replicas <= 0 {
 		w.Replicas = 3
-	}
-	if w.Replicas > hosts {
-		w.Replicas = hosts
+		if w.Replicas > hosts {
+			w.Replicas = hosts
+		}
 	}
 	if w.MinBytes <= 0 {
 		w.MinBytes = float64(64 * units.MB)
@@ -62,8 +96,12 @@ func (w *WorkloadConfig) SetDefaults(hosts int) {
 // Generate populates the cluster with tenants, replicated datasets, and a
 // Poisson job arrival stream. All draws come from one seeded source
 // consumed in a fixed order before the simulation starts, so the workload
-// is bit-reproducible.
-func Generate(c *Cluster, wcfg WorkloadConfig) {
+// is bit-reproducible. An invalid shape (replicas exceeding hosts,
+// negative counts) is rejected before anything is attached.
+func Generate(c *Cluster, wcfg WorkloadConfig) error {
+	if err := wcfg.Validate(c.Hosts()); err != nil {
+		return err
+	}
 	wcfg.SetDefaults(c.Hosts())
 	rng := rand.New(rand.NewSource(wcfg.Seed ^ 0x0a11ca11))
 	c.AddTenants(wcfg.Tenants)
@@ -98,4 +136,5 @@ func Generate(c *Cluster, wcfg WorkloadConfig) {
 		prio := i % wcfg.PriorityLevels
 		c.Submit(at, tenant, dataset, dst, size, prio)
 	}
+	return nil
 }

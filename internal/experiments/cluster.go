@@ -7,6 +7,7 @@ import (
 	"e2edt/internal/chart"
 	"e2edt/internal/cluster"
 	"e2edt/internal/fabric"
+	"e2edt/internal/faults"
 	"e2edt/internal/metrics"
 	"e2edt/internal/sim"
 	"e2edt/internal/trace"
@@ -17,8 +18,8 @@ func init() {
 }
 
 // ClusterRunSpec parameterizes one cluster scenario run; it is shared by
-// the S5 harness, the cmd/xfersched cluster mode, and cmd/clusterbench so
-// every consumer measures exactly the same system.
+// the S5/S6 harnesses, the cmd/xfersched cluster mode, and
+// cmd/clusterbench so every consumer measures exactly the same system.
 type ClusterRunSpec struct {
 	Hosts    int
 	Shards   int
@@ -27,6 +28,50 @@ type ClusterRunSpec struct {
 	DropPct  float64
 	Topology string // "leaf-spine" (default) or "fat-tree"
 	Seed     int64
+
+	// Chaos, when non-nil, injects cluster-scale faults into the run.
+	Chaos *ChaosSpec
+}
+
+// ChaosSpec schedules cluster-scale faults: crash-stop hosts (optionally
+// restarting), crash-stop shard controllers, control-plane partitions, and
+// spine-switch outages. Everything is virtual-time-stamped, so the fault
+// timeline is part of the deterministic replay.
+type ChaosSpec struct {
+	HostKills  []HostKill
+	CtrlKills  []CtrlKill
+	Partitions []PartitionSpec
+	SpineKills []SpineKill
+}
+
+// HostKill crash-stops a host at At; Down > 0 cold-restarts it after that
+// long, Down == 0 leaves it dead.
+type HostKill struct {
+	Host int
+	At   sim.Time
+	Down sim.Duration
+}
+
+// CtrlKill permanently crash-stops a shard controller at At.
+type CtrlKill struct {
+	Shard int
+	At    sim.Time
+}
+
+// PartitionSpec severs the listed shards from the rest of the control
+// plane at At, healing after For.
+type PartitionSpec struct {
+	Shards []int
+	At     sim.Time
+	For    sim.Duration
+}
+
+// SpineKill fails every trunk of one spine switch at At; Down > 0 repairs
+// them after that long, Down == 0 leaves the spine dark.
+type SpineKill struct {
+	Spine int
+	At    sim.Time
+	Down  sim.Duration
 }
 
 // ClusterRunResult is one run's outcome: the cluster report plus the
@@ -37,6 +82,13 @@ type ClusterRunResult struct {
 	TraceEvents uint64
 	WallSeconds float64
 	Topology    string
+
+	// ExactlyOnce is the post-run delivery audit: nil iff every done job
+	// completed exactly once and the delivered-bytes ledgers agree.
+	ExactlyOnce error
+	// DegradedAtEnd counts shards still in degraded mode when the run
+	// drained (must be zero after every partition heals).
+	DegradedAtEnd int
 }
 
 // RunClusterPoint builds, runs, and summarizes one cluster scenario under
@@ -63,19 +115,49 @@ func RunClusterPoint(spec ClusterRunSpec) ClusterRunResult {
 	if err != nil {
 		panic(fmt.Sprintf("S5: %v", err))
 	}
-	cluster.Generate(c, cluster.WorkloadConfig{
+	if err := cluster.Generate(c, cluster.WorkloadConfig{
 		Tenants: spec.Tenants,
 		Jobs:    spec.Jobs,
 		Seed:    spec.Seed,
-	})
+	}); err != nil {
+		panic(fmt.Sprintf("cluster workload: %v", err))
+	}
+	if spec.Chaos != nil {
+		plan := &faults.Plan{}
+		for _, k := range spec.Chaos.HostKills {
+			if k.Down > 0 {
+				plan.HostOutage(k.Host, k.At, k.Down)
+			} else {
+				plan.KillHost(k.Host, k.At)
+			}
+		}
+		for _, k := range spec.Chaos.CtrlKills {
+			plan.KillController(k.Shard, k.At)
+		}
+		for _, p := range spec.Chaos.Partitions {
+			plan.PartitionWindow(p.Shards, p.At, p.For)
+		}
+		for _, k := range spec.Chaos.SpineKills {
+			for _, l := range c.Topo.SpineLinks(k.Spine) {
+				if k.Down > 0 {
+					plan.FailWindow(l, k.At, k.Down)
+				} else {
+					plan.PermanentFail(l, k.At)
+				}
+			}
+		}
+		plan.ApplyTo(eng, c)
+	}
 	t0 := time.Now()
 	c.Run()
 	return ClusterRunResult{
-		Report:      c.Report(),
-		TraceSHA:    h.Sum(),
-		TraceEvents: h.Events(),
-		WallSeconds: time.Since(t0).Seconds(),
-		Topology:    c.Topo.Describe(),
+		Report:        c.Report(),
+		TraceSHA:      h.Sum(),
+		TraceEvents:   h.Events(),
+		WallSeconds:   time.Since(t0).Seconds(),
+		Topology:      c.Topo.Describe(),
+		ExactlyOnce:   c.VerifyExactlyOnce(),
+		DegradedAtEnd: c.DegradedShards(),
 	}
 }
 

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"e2edt/internal/metrics"
+	"e2edt/internal/sim"
+)
+
+func init() {
+	register("S6", ClusterChaos)
+}
+
+// chaosRow renders one chaos scenario against its baseline.
+func chaosRow(tbl *metrics.Table, name string, res ClusterRunResult, baseline ClusterRunResult) {
+	rep := res.Report
+	tbl.AddRow(
+		name,
+		fmt.Sprintf("%.1f", rep.VirtualSeconds),
+		fmt.Sprintf("%.1f", rep.AggregateGoodputGbps),
+		fmt.Sprintf("%.0f%%", 100*rep.AggregateGoodputGbps/baseline.Report.AggregateGoodputGbps),
+		fmt.Sprintf("%d", rep.JobsLost),
+		fmt.Sprintf("%d", rep.JobsRequeued),
+		fmt.Sprintf("%d / %d", rep.Elections, rep.Adoptions),
+		fmt.Sprintf("%d / %d", rep.DegradedIn, rep.DegradedOut),
+	)
+}
+
+// ClusterChaos is S6: cluster failure domains under a seeded chaos
+// timeline. A 100-host run first executes fault-free to establish the
+// goodput baseline and the horizon T; the chaos run then crash-stops a
+// host at 0.3 T (restarting it 8 s later) and kills the leader controller
+// at 0.6 T. A second scenario severs three shards from the control plane
+// and darkens a spine switch. Hard gates, any of which panics the
+// harness:
+//
+//   - every chaos run passes the exactly-once delivery audit;
+//   - chaos goodput stays ≥ 90% of the no-fault baseline;
+//   - the leader kill produces an election and an adoption;
+//   - no shard is still degraded after the partition heals;
+//   - each scenario runs twice and the trace hashes are bit-identical.
+func ClusterChaos() Result {
+	const seed = 4242
+	base := ClusterRunSpec{
+		Hosts:   100,
+		Shards:  8,
+		Tenants: 400,
+		Jobs:    1200,
+		DropPct: 2,
+		Seed:    seed,
+	}
+	baseline := RunClusterPoint(base)
+	if baseline.ExactlyOnce != nil {
+		panic(fmt.Sprintf("S6: baseline failed delivery audit: %v", baseline.ExactlyOnce))
+	}
+	T := baseline.Report.VirtualSeconds
+
+	runPair := func(name string, spec ClusterRunSpec) ClusterRunResult {
+		r1 := RunClusterPoint(spec)
+		r2 := RunClusterPoint(spec)
+		if r1.TraceSHA != r2.TraceSHA {
+			panic(fmt.Sprintf("S6: %s replay diverged between two runs of one seed", name))
+		}
+		if r1.ExactlyOnce != nil {
+			panic(fmt.Sprintf("S6: %s failed delivery audit: %v", name, r1.ExactlyOnce))
+		}
+		if r1.DegradedAtEnd != 0 {
+			panic(fmt.Sprintf("S6: %s left %d shards degraded", name, r1.DegradedAtEnd))
+		}
+		return r1
+	}
+
+	// Scenario 1: host crash at 0.3 T (8 s outage) + leader kill at 0.6 T.
+	crash := base
+	crash.Chaos = &ChaosSpec{
+		HostKills: []HostKill{{Host: 7, At: sim.Time(0.3 * T), Down: 8}},
+		CtrlKills: []CtrlKill{{Shard: 0, At: sim.Time(0.6 * T)}},
+	}
+	crashRes := runPair("host+leader kill", crash)
+	if crashRes.Report.Elections < 1 || crashRes.Report.Adoptions < 1 {
+		panic(fmt.Sprintf("S6: leader kill produced elections=%d adoptions=%d",
+			crashRes.Report.Elections, crashRes.Report.Adoptions))
+	}
+	if crashRes.Report.JobsRequeued < 1 {
+		panic("S6: host kill requeued nothing — recovery path never ran")
+	}
+	if ratio := crashRes.Report.AggregateGoodputGbps / baseline.Report.AggregateGoodputGbps; ratio < 0.9 {
+		panic(fmt.Sprintf("S6: chaos goodput %.0f%% of baseline, need ≥ 90%%", 100*ratio))
+	}
+
+	// Scenario 2: control-plane partition (shards 5–7 severed for 8 s) plus
+	// a spine switch dark for 5 s, forcing ECMP detours mid-transfer.
+	part := base
+	part.Chaos = &ChaosSpec{
+		Partitions: []PartitionSpec{{Shards: []int{5, 6, 7}, At: sim.Time(0.25 * T), For: 8}},
+		SpineKills: []SpineKill{{Spine: 1, At: sim.Time(0.4 * T), Down: 5}},
+	}
+	partRes := runPair("partition+spine kill", part)
+	if partRes.Report.DegradedIn < 1 || partRes.Report.DegradedOut != partRes.Report.DegradedIn {
+		panic(fmt.Sprintf("S6: degraded entries/exits %d/%d — partition handling broken",
+			partRes.Report.DegradedIn, partRes.Report.DegradedOut))
+	}
+	if partRes.Report.PartDrops < 1 {
+		panic("S6: partition severed no control traffic")
+	}
+
+	tbl := metrics.Table{
+		Title: fmt.Sprintf("S6 — failure domains (100 hosts, 8 shards, baseline horizon %.1f s)", T),
+		Headers: []string{"scenario", "virtual s", "goodput Gbps", "vs baseline",
+			"lost", "requeued", "elect/adopt", "degraded in/out"},
+	}
+	chaosRow(&tbl, "no faults", baseline, baseline)
+	chaosRow(&tbl, "host@30% + leader@60%", crashRes, baseline)
+	chaosRow(&tbl, "partition 8s + spine 5s", partRes, baseline)
+
+	return Result{
+		ID:     "S6",
+		Title:  "Cluster chaos: crash-stop hosts, leader failover, partition-tolerant degraded mode",
+		Tables: []metrics.Table{tbl},
+		Notes: []string{
+			"every chaos run passed the exactly-once delivery audit (completions, lost jobs, byte ledgers)",
+			fmt.Sprintf("chaos replays verified bit-identical (sha256 %s… / %s…)",
+				crashRes.TraceSHA[:16], partRes.TraceSHA[:16]),
+			fmt.Sprintf("host kill: %d requeues, %d voided completions; leader kill: %d elections, %d adoptions",
+				crashRes.Report.JobsRequeued, crashRes.Report.VoidedJobs,
+				crashRes.Report.Elections, crashRes.Report.Adoptions),
+			fmt.Sprintf("partition: %d control drops, degraded %d/%d, %d stale leases rejected; spine kill rerouted %d jobs",
+				partRes.Report.PartDrops, partRes.Report.DegradedIn, partRes.Report.DegradedOut,
+				partRes.Report.StaleLeases, partRes.Report.Reroutes),
+		},
+	}
+}

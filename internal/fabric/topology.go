@@ -364,6 +364,14 @@ func mix64(x uint64) uint64 {
 // equal-cost next hops, flows with the same key stay on one path (no
 // packet reordering), and the same (key, src, dst) always routes the same
 // way. src == dst returns no hops (host-local copy).
+//
+// Routing is dead-link-aware: when the hashed choice lands on a failed
+// switch-stage link, the route scans forward from that base choice (offsets
+// 1, 2, …) to the first equal-cost alternative whose links are all alive —
+// the ECMP re-route a real fabric performs when a spine or trunk dies.
+// The scan order is a pure function of the hash, so re-routing stays
+// deterministic. If every alternative is dark the hashed choice is kept:
+// the flow charges a dead link and stalls, which is the physical truth.
 func (t *Topology) Route(src, dst int, key uint64) []Hop {
 	if src == dst {
 		return nil
@@ -377,26 +385,91 @@ func (t *Topology) Route(src, dst int, key uint64) []Hop {
 	}
 	switch t.Kind {
 	case TopoLeafSpine:
-		sp := int(h % uint64(len(t.Spines)))
 		l1, l2 := t.leafOf[src], t.leafOf[dst]
+		sp := scanAlive(int(h%uint64(len(t.Spines))), len(t.Spines), func(sp int) bool {
+			return !t.up[l1][sp].Failed() && !t.up[l2][sp].Failed()
+		})
 		hops = append(hops,
 			Hop{Link: t.up[l1][sp], From: t.up[l1][sp].A},
 			Hop{Link: t.up[l2][sp], From: t.up[l2][sp].B})
 	case TopoFatTree:
-		a := int(h % uint64(t.half))
 		e1, e2 := t.leafOf[src], t.leafOf[dst]
 		p1, p2 := e1/t.half, e2/t.half
-		hops = append(hops, Hop{Link: t.edgeAgg[e1][a], From: t.edgeAgg[e1][a].A})
-		if p1 != p2 {
-			m := int(mix64(h) % uint64(t.half))
-			ga1, ga2 := p1*t.half+a, p2*t.half+a
+		a0 := int(h % uint64(t.half))
+		if p1 == p2 {
+			a := scanAlive(a0, t.half, func(a int) bool {
+				return !t.edgeAgg[e1][a].Failed() && !t.edgeAgg[e2][a].Failed()
+			})
 			hops = append(hops,
-				Hop{Link: t.aggCore[ga1][m], From: t.aggCore[ga1][m].A},
-				Hop{Link: t.aggCore[ga2][m], From: t.aggCore[ga2][m].B})
+				Hop{Link: t.edgeAgg[e1][a], From: t.edgeAgg[e1][a].A},
+				Hop{Link: t.edgeAgg[e2][a], From: t.edgeAgg[e2][a].B})
+			break
 		}
-		hops = append(hops, Hop{Link: t.edgeAgg[e2][a], From: t.edgeAgg[e2][a].B})
+		// Cross-pod: the aggregation slot choice pins the core group, so a
+		// live path needs (edge→agg, agg→core, core→agg, agg→edge) all up
+		// for some (a, m) pair. Scan a from the hashed base, and within each
+		// a scan m from its hashed base.
+		m0 := int(mix64(h) % uint64(t.half))
+		a, m := a0, m0
+		for da := 0; da < t.half; da++ {
+			ca := (a0 + da) % t.half
+			if t.edgeAgg[e1][ca].Failed() || t.edgeAgg[e2][ca].Failed() {
+				continue
+			}
+			ga1, ga2 := p1*t.half+ca, p2*t.half+ca
+			cm := scanAlive(m0, t.half, func(m int) bool {
+				return !t.aggCore[ga1][m].Failed() && !t.aggCore[ga2][m].Failed()
+			})
+			if t.aggCore[ga1][cm].Failed() || t.aggCore[ga2][cm].Failed() {
+				continue
+			}
+			a, m = ca, cm
+			break
+		}
+		ga1, ga2 := p1*t.half+a, p2*t.half+a
+		hops = append(hops,
+			Hop{Link: t.edgeAgg[e1][a], From: t.edgeAgg[e1][a].A},
+			Hop{Link: t.aggCore[ga1][m], From: t.aggCore[ga1][m].A},
+			Hop{Link: t.aggCore[ga2][m], From: t.aggCore[ga2][m].B},
+			Hop{Link: t.edgeAgg[e2][a], From: t.edgeAgg[e2][a].B})
 	}
 	return append(hops, Hop{Link: down, From: down.B})
+}
+
+// scanAlive returns the first choice from base (wrapping, n choices) that
+// alive accepts, or base itself when none do.
+func scanAlive(base, n int, alive func(int) bool) int {
+	for d := 0; d < n; d++ {
+		if c := (base + d) % n; alive(c) {
+			return c
+		}
+	}
+	return base
+}
+
+// Uplinks returns every switch-stage link (everything that is not an
+// access link), the targets a fabric-kill chaos plan aims at.
+func (t *Topology) Uplinks() []*Link { return t.links[len(t.PortLinks):] }
+
+// SpineLinks returns every leaf→spine link attached to spine sp
+// (leaf-spine only) — failing them all models a spine switch death.
+func (t *Topology) SpineLinks(sp int) []*Link {
+	out := make([]*Link, 0, len(t.up))
+	for l := range t.up {
+		out = append(out, t.up[l][sp])
+	}
+	return out
+}
+
+// CoreLinks returns every aggregation→core link attached to core switch
+// core (fat-tree only) — failing them all models a core switch death.
+func (t *Topology) CoreLinks(core int) []*Link {
+	a, m := core/t.half, core%t.half
+	out := make([]*Link, 0, len(t.aggCore)/t.half)
+	for p := 0; p < len(t.aggCore)/t.half; p++ {
+		out = append(out, t.aggCore[p*t.half+a][m])
+	}
+	return out
 }
 
 // ChargeRoute attaches every hop of a route (wire bandwidth, framing,

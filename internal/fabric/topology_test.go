@@ -273,3 +273,155 @@ func TestRouteECMPDeterministicAndSpreading(t *testing.T) {
 		t.Fatalf("ECMP used %d spines for 64 keys, want ≥ 2", len(seen))
 	}
 }
+
+// TestRouteAvoidsDeadSpine: after a spine dies, every cross-leaf route
+// lands on a surviving spine, and the detour is deterministic.
+func TestRouteAvoidsDeadSpine(t *testing.T) {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	topo, err := BuildTopology(s, leafSpineCfg(units.FromGbps(10), units.FromGbps(40), 4, 4), testPorts(s, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 2
+	spineOf := func(hops []Hop) int {
+		for sp := range topo.Spines {
+			if hops[1].Link == topo.up[topo.LeafIndex(0)][sp] {
+				return sp
+			}
+		}
+		return -1
+	}
+	// Find a key that naturally hashes to the doomed spine.
+	key := uint64(0)
+	for ; key < 1024; key++ {
+		if spineOf(topo.Route(0, 12, key)) == dead {
+			break
+		}
+	}
+	if spineOf(topo.Route(0, 12, key)) != dead {
+		t.Fatal("no key hashed onto the doomed spine")
+	}
+	for _, l := range topo.SpineLinks(dead) {
+		l.Fail()
+	}
+	hops := topo.Route(0, 12, key)
+	routeValid(t, topo, 0, 12, hops)
+	if sp := spineOf(hops); sp == dead {
+		t.Fatal("route still uses the dead spine")
+	}
+	for _, h := range hops {
+		if h.Link.Failed() {
+			t.Fatalf("re-route crosses failed link %s", h.Link.Cfg.Name)
+		}
+	}
+	again := topo.Route(0, 12, key)
+	for i := range hops {
+		if hops[i] != again[i] {
+			t.Fatal("re-route not deterministic")
+		}
+	}
+	// Heal: the original hashed choice comes back.
+	for _, l := range topo.SpineLinks(dead) {
+		l.Restore()
+	}
+	if spineOf(topo.Route(0, 12, key)) != dead {
+		t.Fatal("route did not return to the hashed spine after heal")
+	}
+}
+
+// TestRouteAllSpinesDeadKeepsHashedChoice: with no live alternative the
+// route keeps the hashed path (the flow stalls — physical truth).
+func TestRouteAllSpinesDeadKeepsHashedChoice(t *testing.T) {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	topo, err := BuildTopology(s, leafSpineCfg(units.FromGbps(10), units.FromGbps(40), 4, 2), testPorts(s, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := topo.Route(0, 6, 9)
+	for _, l := range topo.Uplinks() {
+		l.Fail()
+	}
+	after := topo.Route(0, 6, 9)
+	if len(before) != len(after) {
+		t.Fatal("hop count changed with every uplink dead")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("route changed despite no live alternative")
+		}
+	}
+}
+
+// TestFatTreeRouteAvoidsDeadCore: killing a core switch (all its trunk
+// links) steers cross-pod routes onto surviving cores, still valid.
+func TestFatTreeRouteAvoidsDeadCore(t *testing.T) {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	ft, err := BuildTopology(s, TopoConfig{
+		Kind: TopoFatTree, K: 4,
+		HostLink:   Config{Rate: units.FromGbps(10)},
+		UplinkRate: units.FromGbps(10),
+	}, testPorts(s, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreUsed := func(hops []Hop) *host.Host {
+		for _, h := range hops {
+			for _, c := range ft.Cores {
+				if h.Link.B.Host == c {
+					return c
+				}
+			}
+		}
+		return nil
+	}
+	// Kill core 0; check many (key) draws all avoid it and stay valid.
+	for _, l := range ft.CoreLinks(0) {
+		l.Fail()
+	}
+	for key := uint64(0); key < 64; key++ {
+		hops := ft.Route(0, 8, key)
+		routeValid(t, ft, 0, 8, hops)
+		if c := coreUsed(hops); c == ft.Cores[0] {
+			t.Fatalf("key %d still routed through dead core", key)
+		}
+		for _, h := range hops {
+			if h.Link.Failed() {
+				t.Fatalf("key %d crosses failed link %s", key, h.Link.Cfg.Name)
+			}
+		}
+	}
+}
+
+// TestUplinkAccessors: Uplinks excludes access links; SpineLinks/CoreLinks
+// return one link per attached switch of the other stage.
+func TestUplinkAccessors(t *testing.T) {
+	eng := sim.NewEngine()
+	s := fluid.NewSim(eng)
+	ls, err := BuildTopology(s, leafSpineCfg(units.FromGbps(10), units.FromGbps(40), 4, 3), testPorts(s, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(ls.Uplinks()), 3*3; got != want {
+		t.Fatalf("leaf-spine uplinks = %d, want %d", got, want)
+	}
+	if got, want := len(ls.SpineLinks(1)), 3; got != want {
+		t.Fatalf("SpineLinks(1) = %d links, want %d (one per leaf)", got, want)
+	}
+	ft, err := BuildTopology(s, TopoConfig{
+		Kind: TopoFatTree, K: 4, Name: "ft2",
+		HostLink:   Config{Rate: units.FromGbps(10)},
+		UplinkRate: units.FromGbps(10),
+	}, testPorts(s, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(ft.Uplinks()), 32; got != want {
+		t.Fatalf("fat-tree uplinks = %d, want %d", got, want)
+	}
+	if got, want := len(ft.CoreLinks(0)), 4; got != want {
+		t.Fatalf("CoreLinks(0) = %d links, want %d (one per pod)", got, want)
+	}
+}

@@ -6,9 +6,17 @@
 // topology reproduces a bit-identical event trace: chaos experiments are
 // replayable.
 //
+// Beyond link faults, a plan can schedule cluster-scale failure domains:
+// crash-stop host failures (with optional cold restart), shard-controller
+// crashes, and control-plane partitions. Those events have no fabric.Link
+// target; they are delivered to a Sink — implemented by internal/cluster —
+// through ApplyTo, keeping the whole failure schedule in one replayable
+// data structure.
+//
 // Two ways to build a plan: compose windows by hand (FailWindow,
-// DegradeWindow, Burst) for acceptance tests, or draw a whole schedule
-// from a seeded generator (Chaos) for sweep experiments.
+// DegradeWindow, Burst, HostOutage, KillController, PartitionWindow) for
+// acceptance tests, or draw a link-fault schedule from a seeded generator
+// (Chaos) for sweep experiments.
 package faults
 
 import (
@@ -38,6 +46,22 @@ const (
 	// with no link-level or RDMA-level indication. Only an end-to-end
 	// integrity check can catch it.
 	Corrupt
+	// HostFail crash-stops a simulated cluster host: its NICs go dark, its
+	// staging memory is lost, and it stops heartbeating. Delivered to a
+	// Sink (cluster events have no Link target).
+	HostFail
+	// HostRestore cold-restarts a crashed host: NICs come back, but
+	// anything staged in its memory before the crash is gone.
+	HostRestore
+	// CtrlFail crash-stops a control-plane shard controller. Crash-stop is
+	// permanent for controllers: ownership fails over to a successor.
+	CtrlFail
+	// PartitionStart severs control-plane traffic between the listed
+	// shards and the rest of the control plane. Data-plane links are
+	// untouched — the partition isolates coordination, not transfers.
+	PartitionStart
+	// PartitionHeal reconnects the control plane.
+	PartitionHeal
 )
 
 // String names the kind for traces and report tables.
@@ -51,6 +75,16 @@ func (k Kind) String() string {
 		return "degrade"
 	case Corrupt:
 		return "corrupt"
+	case HostFail:
+		return "host-fail"
+	case HostRestore:
+		return "host-restore"
+	case CtrlFail:
+		return "ctrl-fail"
+	case PartitionStart:
+		return "partition"
+	case PartitionHeal:
+		return "heal"
 	default:
 		return "error-burst"
 	}
@@ -62,11 +96,56 @@ type Event struct {
 	At sim.Time
 	// Kind selects the action.
 	Kind Kind
-	// Link is the target link.
+	// Link is the target link (link kinds only; nil for cluster kinds).
 	Link *fabric.Link
 	// Fraction is the capacity fraction for LinkDegrade (ignored
 	// otherwise); Degrade(1) clears a standing degradation.
 	Fraction float64
+	// Host is the target host id (HostFail/HostRestore) or shard id
+	// (CtrlFail).
+	Host int
+	// Shards lists the shard ids severed from the rest by PartitionStart.
+	Shards []int
+}
+
+// clusterKind reports whether the event needs a Sink rather than a Link.
+func (ev Event) clusterKind() bool {
+	switch ev.Kind {
+	case HostFail, HostRestore, CtrlFail, PartitionStart, PartitionHeal:
+		return true
+	}
+	return false
+}
+
+// target names the event's subject for logs and tables.
+func (ev Event) target() string {
+	switch ev.Kind {
+	case HostFail, HostRestore:
+		return fmt.Sprintf("host %d", ev.Host)
+	case CtrlFail:
+		return fmt.Sprintf("shard %d", ev.Host)
+	case PartitionStart:
+		return fmt.Sprintf("shards %v", ev.Shards)
+	case PartitionHeal:
+		return "control plane"
+	}
+	return "link " + ev.Link.Cfg.Name
+}
+
+// Sink receives cluster-scale fault events from ApplyTo. It is implemented
+// by internal/cluster; the indirection keeps this package free of a cluster
+// dependency while one Plan carries the whole failure schedule.
+type Sink interface {
+	// FailHost crash-stops host id.
+	FailHost(id int)
+	// RestoreHost cold-restarts a crashed host.
+	RestoreHost(id int)
+	// FailController crash-stops shard controller k (permanent).
+	FailController(k int)
+	// StartPartition severs control traffic between shards and the rest.
+	StartPartition(shards []int)
+	// HealPartition reconnects the control plane.
+	HealPartition()
 }
 
 // Plan is an ordered fault schedule.
@@ -118,17 +197,55 @@ func (p *Plan) PermanentFail(l *fabric.Link, at sim.Time) {
 	p.Add(Event{At: at, Kind: LinkFail, Link: l})
 }
 
+// KillHost schedules a crash-stop failure of host id that is never
+// repaired within the plan.
+func (p *Plan) KillHost(id int, at sim.Time) {
+	p.Add(Event{At: at, Kind: HostFail, Host: id})
+}
+
+// HostOutage schedules a crash-stop failure of host id at from, followed by
+// a cold restart after down.
+func (p *Plan) HostOutage(id int, from sim.Time, down sim.Duration) {
+	p.Add(Event{At: from, Kind: HostFail, Host: id})
+	p.Add(Event{At: from + sim.Time(down), Kind: HostRestore, Host: id})
+}
+
+// KillController schedules a permanent crash-stop of shard controller k.
+func (p *Plan) KillController(k int, at sim.Time) {
+	p.Add(Event{At: at, Kind: CtrlFail, Host: k})
+}
+
+// PartitionWindow severs control-plane traffic between the listed shards
+// and the rest over [from, from+window), healing afterwards.
+func (p *Plan) PartitionWindow(shards []int, from sim.Time, window sim.Duration) {
+	p.Add(Event{At: from, Kind: PartitionStart, Shards: shards})
+	p.Add(Event{At: from + sim.Time(window), Kind: PartitionHeal})
+}
+
 // Apply schedules every event on the engine. Call before Run; events in
-// the past panic (the engine refuses to schedule before now).
-func (p *Plan) Apply(eng *sim.Engine) {
+// the past panic (the engine refuses to schedule before now). Plans that
+// contain cluster-scale events (host/controller/partition) need ApplyTo.
+func (p *Plan) Apply(eng *sim.Engine) { p.ApplyTo(eng, nil) }
+
+// ApplyTo schedules every event on the engine, delivering cluster-scale
+// events to sink. A plan with cluster events and a nil sink panics: the
+// schedule names failure domains nobody models.
+func (p *Plan) ApplyTo(eng *sim.Engine, sink Sink) {
 	if p.Empty() {
 		return
 	}
 	p.sortEvents()
 	for _, ev := range p.Events {
 		ev := ev
+		if ev.clusterKind() && sink == nil {
+			panic(fmt.Sprintf("faults: plan schedules %s for %s but no Sink was given; use ApplyTo", ev.Kind, ev.target()))
+		}
 		eng.At(ev.At, func() {
-			eng.Tracef("faults", "%s link %s (fraction=%g)", ev.Kind, ev.Link.Cfg.Name, ev.Fraction)
+			if ev.Kind == LinkDegrade {
+				eng.Tracef("faults", "%s %s (fraction=%g)", ev.Kind, ev.target(), ev.Fraction)
+			} else {
+				eng.Tracef("faults", "%s %s", ev.Kind, ev.target())
+			}
 			switch ev.Kind {
 			case LinkFail:
 				ev.Link.Fail()
@@ -140,6 +257,16 @@ func (p *Plan) Apply(eng *sim.Engine) {
 				ev.Link.InjectErrorBurst()
 			case Corrupt:
 				ev.Link.InjectCorruption()
+			case HostFail:
+				sink.FailHost(ev.Host)
+			case HostRestore:
+				sink.RestoreHost(ev.Host)
+			case CtrlFail:
+				sink.FailController(ev.Host)
+			case PartitionStart:
+				sink.StartPartition(ev.Shards)
+			case PartitionHeal:
+				sink.HealPartition()
 			}
 		})
 	}
@@ -152,7 +279,7 @@ func (p *Plan) String() string {
 	}
 	var b strings.Builder
 	for _, ev := range p.Events {
-		fmt.Fprintf(&b, "%12.4fs  %-11s  %s", float64(ev.At), ev.Kind, ev.Link.Cfg.Name)
+		fmt.Fprintf(&b, "%12.4fs  %-12s  %s", float64(ev.At), ev.Kind, ev.target())
 		if ev.Kind == LinkDegrade {
 			fmt.Fprintf(&b, "  fraction=%g", ev.Fraction)
 		}
@@ -167,13 +294,13 @@ func (p *Plan) MarkdownTable() string {
 		return "_no faults scheduled_\n"
 	}
 	var b strings.Builder
-	b.WriteString("| t (s) | action | link | fraction |\n|---|---|---|---|\n")
+	b.WriteString("| t (s) | action | target | fraction |\n|---|---|---|---|\n")
 	for _, ev := range p.Events {
 		frac := "—"
 		if ev.Kind == LinkDegrade {
 			frac = fmt.Sprintf("%g", ev.Fraction)
 		}
-		fmt.Fprintf(&b, "| %.4f | %s | %s | %s |\n", float64(ev.At), ev.Kind, ev.Link.Cfg.Name, frac)
+		fmt.Fprintf(&b, "| %.4f | %s | %s | %s |\n", float64(ev.At), ev.Kind, ev.target(), frac)
 	}
 	return b.String()
 }

@@ -117,13 +117,77 @@ func TestPlanRendering(t *testing.T) {
 		t.Fatalf("String() missing fields:\n%s", s)
 	}
 	md := p.MarkdownTable()
-	if !strings.Contains(md, "| 2.0000 | degrade | wan | 0.5 |") {
+	if !strings.Contains(md, "| 2.0000 | degrade | link wan | 0.5 |") {
 		t.Fatalf("markdown table malformed:\n%s", md)
+	}
+	p.KillHost(3, 4)
+	p.KillController(1, 5)
+	p.PartitionWindow([]int{2, 3}, 6, 2)
+	md = p.MarkdownTable()
+	for _, want := range []string{
+		"| 4.0000 | host-fail | host 3 | — |",
+		"| 5.0000 | ctrl-fail | shard 1 | — |",
+		"| 6.0000 | partition | shards [2 3] | — |",
+		"| 8.0000 | heal | control plane | — |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown table missing %q:\n%s", want, md)
+		}
 	}
 	empty := &Plan{}
 	if !strings.Contains(empty.MarkdownTable(), "no faults") {
 		t.Fatal("empty plan table should say so")
 	}
+}
+
+// recordingSink collects cluster-scale fault deliveries in order.
+type recordingSink struct{ got []string }
+
+func (r *recordingSink) FailHost(id int)      { r.got = append(r.got, sinkEvent("fail-host", id)) }
+func (r *recordingSink) RestoreHost(id int)   { r.got = append(r.got, sinkEvent("restore-host", id)) }
+func (r *recordingSink) FailController(k int) { r.got = append(r.got, sinkEvent("fail-ctrl", k)) }
+func (r *recordingSink) StartPartition(shards []int) {
+	r.got = append(r.got, sinkEvent("partition", len(shards)))
+}
+func (r *recordingSink) HealPartition() { r.got = append(r.got, "heal") }
+
+func sinkEvent(what string, n int) string { return what + ":" + string(rune('0'+n)) }
+
+// TestApplyToDeliversClusterEvents: host/controller/partition events reach
+// the sink at their scheduled times, interleaved correctly with link events.
+func TestApplyToDeliversClusterEvents(t *testing.T) {
+	eng, l := testLink("roce")
+	p := &Plan{}
+	p.HostOutage(2, 1, 3) // fail @1, restore @4
+	p.FailWindow(l, 2, 1) // link fail @2, restore @3
+	p.KillController(1, 5)
+	p.PartitionWindow([]int{3}, 6, 2) // partition @6, heal @8
+	sink := &recordingSink{}
+	p.ApplyTo(eng, sink)
+	eng.Run()
+	want := []string{
+		"fail-host:2", "restore-host:2", "fail-ctrl:1", "partition:1", "heal",
+	}
+	if !reflect.DeepEqual(sink.got, want) {
+		t.Fatalf("sink deliveries = %v, want %v", sink.got, want)
+	}
+	if l.Fraction() != 1 {
+		t.Fatal("link window not applied alongside cluster events")
+	}
+}
+
+// TestApplyPanicsOnClusterEventsWithoutSink: a plan naming failure domains
+// nobody models is a bug, not a silent no-op.
+func TestApplyPanicsOnClusterEventsWithoutSink(t *testing.T) {
+	eng, _ := testLink("roce")
+	p := &Plan{}
+	p.KillHost(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply with cluster events and no sink did not panic")
+		}
+	}()
+	p.Apply(eng)
 }
 
 // TestPermanentFailNeverRestores: the plan ends with the link still dark,

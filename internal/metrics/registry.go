@@ -132,18 +132,26 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// Merge copies every instrument from src into r's namespace. A name that is
-// already registered is a collision and aborts the merge with an error
-// (nothing is copied); callers that own overlapping hosts must namespace
-// them apart first.
+// Merge copies every instrument from src into r's namespace.
+//
+// Merge is idempotent: a name that already maps to the *same* instrument
+// (same pointer) is skipped, so merging one source registry repeatedly —
+// a retried reporting pass, a reconnecting shard re-announcing its hosts —
+// neither errors nor double-counts. A name already bound to a *different*
+// instrument is a genuine collision and aborts the merge with an error
+// before anything is copied; callers that own overlapping hosts must
+// namespace them apart first.
 func (r *Registry) Merge(src *Registry) error {
 	names := src.Names()
 	for _, n := range names {
-		if _, dup := r.core.entries[r.qualify(n)]; dup {
+		if have, dup := r.core.entries[r.qualify(n)]; dup && have != src.core.entries[n] {
 			return fmt.Errorf("metrics: merge collision on %q", r.qualify(n))
 		}
 	}
 	for _, n := range names {
+		if _, dup := r.core.entries[r.qualify(n)]; dup {
+			continue // same instrument, already merged
+		}
 		r.core.entries[r.qualify(n)] = src.core.entries[n]
 		r.core.order = append(r.core.order, r.qualify(n))
 	}

@@ -67,6 +67,56 @@ func TestRegistryMerge(t *testing.T) {
 	}
 }
 
+// Re-merging the same source registry must be a no-op, not an error and
+// not a double-count: reporting paths that retry (or shards that
+// re-announce their hosts after a reconnect) call Merge with a registry
+// the target has already absorbed. Regression test for the old behavior,
+// which rejected every repeat merge as a collision.
+func TestRegistryMergeIdempotent(t *testing.T) {
+	root := NewRegistry()
+	h0 := NewRegistry()
+	c := h0.MustCounter("delivered_bytes")
+	c.Add(7)
+	h0.MustCounter("src_jobs").Add(2)
+
+	ns := root.Namespace("host0000")
+	for i := 0; i < 3; i++ {
+		if err := ns.Merge(h0); err != nil {
+			t.Fatalf("merge %d of same source: %v", i+1, err)
+		}
+	}
+	if got := root.SumCounters("delivered_bytes"); got != 7 {
+		t.Fatalf("repeated merge double-counted: sum = %v, want 7", got)
+	}
+	if got := len(root.Names()); got != 2 {
+		t.Fatalf("repeated merge duplicated entries: %d names, want 2", got)
+	}
+	// The merged instrument is shared, not copied: post-merge increments are
+	// visible through the target, and another re-merge still no-ops.
+	c.Add(3)
+	if err := ns.Merge(h0); err != nil {
+		t.Fatalf("re-merge after increment: %v", err)
+	}
+	if got := root.SumCounters("delivered_bytes"); got != 10 {
+		t.Fatalf("sum = %v, want 10", got)
+	}
+
+	// A different instrument under an already-bound name is still a genuine
+	// collision — idempotence must not open the door to silent replacement.
+	h2 := NewRegistry()
+	h2.MustCounter("delivered_bytes").Add(99)
+	h2.MustCounter("dst_jobs").Add(1)
+	if err := ns.Merge(h2); err == nil {
+		t.Fatal("merging a different instrument under a bound name must error")
+	}
+	if got := root.SumCounters("delivered_bytes"); got != 10 {
+		t.Fatalf("failed merge altered registry: sum = %v, want 10", got)
+	}
+	if _, ok := ns.Lookup("dst_jobs"); ok {
+		t.Fatal("aborted merge must copy nothing, even non-colliding names")
+	}
+}
+
 func TestRegistryMixedInstruments(t *testing.T) {
 	r := NewRegistry()
 	ns := r.Namespace("shard0")
