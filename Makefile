@@ -33,12 +33,16 @@ fmt:
 verify: fmt vet build race
 
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR3.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR8.json
 
-# One iteration of every benchmark in the tree — a fast compile-and-run
-# smoke check that keeps benchmarks from bit-rotting (CI runs this).
+# One iteration of every benchmark in the tree (keeps benchmarks from
+# bit-rotting), then the benchreport smoke gate: asserts the committed
+# BENCH_PR8.json carries the 100k-flow churn row at ≥10×, re-measures that
+# point, and replays S1/S2/S5 under the legacy knobs checking the trace
+# SHA-256s match bit for bit (CI runs this).
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) run ./cmd/benchreport -smoke -out BENCH_PR8.json
 
 # Two seeded rail-failover runs through the CLI: a permanent rail kill
 # plus silent corruption, with checksums on. Exercises migration,

@@ -1,22 +1,31 @@
 // Command benchreport is the reproducible benchmark harness behind `make
 // bench`. It measures the solver and engine hot paths at several scales,
-// plus the end-to-end S1/S2 experiment runtimes, in two modes within one
-// binary:
+// plus the end-to-end S1/S2 experiment runtimes and an S5 cluster point, in
+// two modes within one binary:
 //
-//   - after:  the shipped configuration (incremental solver, event
+//   - after:  the shipped configuration (flow-class aggregation,
+//     bottleneck-subgraph incremental solver, timer wheel, event
 //     recycling);
 //   - before: the unoptimized baseline, selected through the
 //     fluid.LegacyFullSolve and sim.LegacyAlloc knobs (from-scratch solve
-//     on every reschedule, fresh allocation per event, eager cancel).
+//     on every reschedule, fresh allocation per event, eager cancel, plain
+//     heap) — or, for the churn-scaling rows, the non-aggregated flow
+//     population (one solver flow per member stream instead of one class).
 //
-// It writes a JSON report (BENCH_PR3.json at the repository root) with
-// before/after numbers and, for S1/S2, a SHA-256 of the rendered results
-// in both modes — proving the optimizations change performance, not a
-// single bit of the seeded experiment output.
+// It writes a JSON report (BENCH_PR8.json at the repository root) with
+// before/after numbers and, for S1/S2/S5, a SHA-256 of the output in both
+// modes — proving the optimizations change performance, not a single bit
+// of the seeded experiment output.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport -out BENCH_PR3.json [-benchtime 500ms]
+//	go run ./cmd/benchreport -out BENCH_PR8.json
+//	go run ./cmd/benchreport -smoke          # CI gate: fast subset + asserts
+//
+// Smoke mode asserts that the committed report carries the 100k-flow churn
+// row with ≥10× improvement, re-measures that point quickly, and replays
+// S1/S2/S5 under both knob settings, exiting non-zero unless every trace
+// hash matches its legacy-knob twin.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -77,8 +87,15 @@ func setMode(legacy bool) {
 	sim.LegacyAlloc = legacy
 }
 
-// measure runs bench in both modes and returns the comparison.
-func measure(name string, benchtime time.Duration, bench func(b *testing.B)) comparison {
+func printRow(c comparison) {
+	fmt.Printf("%-34s before %12.0f ns/op %6d allocs/op   after %12.0f ns/op %6d allocs/op   %6.1fx\n",
+		c.Name, c.Before.NsPerOp, c.Before.AllocsPerOp,
+		c.After.NsPerOp, c.After.AllocsPerOp, c.Speedup)
+}
+
+// measure runs bench in both knob modes through testing.Benchmark and
+// returns the comparison (the PR3-continuity rows).
+func measure(name string, bench func(b *testing.B)) comparison {
 	run := func(legacy bool) measurement {
 		setMode(legacy)
 		defer setMode(false)
@@ -93,22 +110,163 @@ func measure(name string, benchtime time.Duration, bench func(b *testing.B)) com
 			Iterations:  r.N,
 		}
 	}
-	// testing.Benchmark targets 1s per probe; scale via env knob is not
-	// exposed, so benchtime here only bounds the churn loop sizes.
-	_ = benchtime
 	c := comparison{Name: name, Before: run(true), After: run(false)}
 	if c.After.NsPerOp > 0 {
 		c.Speedup = c.Before.NsPerOp / c.After.NsPerOp
 	}
-	fmt.Printf("%-32s before %12.0f ns/op %6d allocs/op   after %12.0f ns/op %6d allocs/op   %5.1fx\n",
-		name, c.Before.NsPerOp, c.Before.AllocsPerOp,
-		c.After.NsPerOp, c.After.AllocsPerOp, c.Speedup)
+	printRow(c)
 	return c
 }
 
-// demandChurn measures one credit-loop style demand update against nFlows
-// concurrent open-ended transfers over a 64-resource mesh — the
-// Sim.reschedule hot path (solver-scaling benchmark).
+// timeOps measures fn over a fixed op count with manual instrumentation.
+// The million-flow populations make testing.Benchmark's repeated setup
+// probes prohibitive, so the churn rows use one warm setup per mode.
+func timeOps(ops int, fn func(i int)) measurement {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		fn(i)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return measurement{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / int64(ops),
+		BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / int64(ops),
+		Iterations:  ops,
+	}
+}
+
+const churnClassSize = 100 // member streams per flow class in the after rows
+
+// classSizeOf keeps at least a handful of classes at small populations.
+func classSizeOf(nMembers int) int {
+	if nMembers < churnClassSize*8 {
+		return nMembers / 8
+	}
+	return churnClassSize
+}
+
+// churnNetwork builds the shared 64-resource mesh plus either nMembers
+// individual flows (flat) or nMembers/classSize flow classes, mirroring how
+// the cluster pools same-route jobs.
+func churnNetwork(nMembers int, classed bool) (*fluid.Network, []*fluid.Flow) {
+	n := fluid.NewNetwork()
+	rs := make([]*fluid.Resource, 64)
+	for i := range rs {
+		rs[i] = n.AddResource("r", 1e9+float64(i))
+	}
+	const uses = 4
+	add := func(i, members int) *fluid.Flow {
+		var f *fluid.Flow
+		if members == 1 {
+			f = n.NewFlow("f", 1e12)
+		} else {
+			f = n.NewFlowClass("c", 1e12, members)
+		}
+		for j := 0; j < uses; j++ {
+			f.Use(rs[(i*13+j*17)%len(rs)], 0.2+float64(j)*0.1)
+		}
+		return f
+	}
+	var flows []*fluid.Flow
+	if classed {
+		k := classSizeOf(nMembers)
+		for i := 0; i < nMembers/k; i++ {
+			flows = append(flows, add(i, k))
+		}
+	} else {
+		for i := 0; i < nMembers; i++ {
+			flows = append(flows, add(i, 1))
+		}
+	}
+	n.Resolve()
+	return n, flows
+}
+
+// solverChurn measures the per-op cost of a binding demand change + Resolve
+// against nMembers member streams: before = the non-aggregated path (one
+// solver flow per member), after = flow classes. The 1 ↔ 1e12 toggle keeps
+// min(old,new) at the flow's frozen rate, so every op runs a genuine
+// bottleneck-subgraph refill rather than the non-binding fast path.
+func solverChurn(name string, nMembers, flatOps, classOps int) comparison {
+	churn := func(n *fluid.Network, flows []*fluid.Flow) func(int) {
+		return func(i int) {
+			f := flows[i%len(flows)]
+			if i%2 == 0 {
+				f.Demand = 1
+			} else {
+				f.Demand = 1e12
+			}
+			n.Resolve()
+		}
+	}
+	fn, flat := churnNetwork(nMembers, false)
+	before := timeOps(flatOps, churn(fn, flat))
+	fn, flat = nil, nil
+	_ = flat
+	runtime.GC() // release ~nMembers flows before building the class twin
+	cn, classes := churnNetwork(nMembers, true)
+	after := timeOps(classOps, churn(cn, classes))
+	c := comparison{Name: name, Before: before, After: after}
+	if after.NsPerOp > 0 {
+		c.Speedup = before.NsPerOp / after.NsPerOp
+	}
+	printRow(c)
+	return c
+}
+
+// tickerStorm measures steady-state periodic-event throughput — the
+// heartbeat/probe/sampler load at cluster scale — with the heap (before)
+// versus the timer wheel (after). Rescheduling closures are pre-built so
+// the row isolates the event structures.
+func tickerStorm(nEvents int, span sim.Duration) comparison {
+	run := func(wheel bool) measurement {
+		e := sim.NewEngine()
+		if wheel {
+			e.EnableTimerWheel(0.005, 256)
+		}
+		fns := make([]func(), nEvents)
+		for i := 0; i < nEvents; i++ {
+			iv := sim.Duration(0.4 + 0.2*float64(i%101)/100)
+			idx := i
+			fns[idx] = func() { e.Schedule(iv, fns[idx]) }
+			e.Schedule(iv, fns[idx])
+		}
+		e.RunFor(1) // warm the free list and slot arrays
+		p0 := e.Processed
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		e.RunFor(span - 1)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		fired := int(e.Processed - p0)
+		if fired == 0 {
+			fired = 1
+		}
+		return measurement{
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(fired),
+			AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / int64(fired),
+			BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / int64(fired),
+			Iterations:  fired,
+		}
+	}
+	c := comparison{Name: fmt.Sprintf("engine_ticker_storm_%dk", nEvents/1000),
+		Before: run(false), After: run(true)}
+	if c.After.NsPerOp > 0 {
+		c.Speedup = c.Before.NsPerOp / c.After.NsPerOp
+	}
+	printRow(c)
+	return c
+}
+
+// demandChurn is the PR3-continuity row: one credit-loop style demand
+// update against nFlows concurrent open-ended transfers over a 64-resource
+// mesh, compared across the legacy knobs.
 func demandChurn(nFlows int) func(b *testing.B) {
 	return func(b *testing.B) {
 		eng := sim.NewEngine()
@@ -134,30 +292,6 @@ func demandChurn(nFlows int) func(b *testing.B) {
 			} else {
 				s.SetDemand(f, 2e9)
 			}
-		}
-	}
-}
-
-// transferChurn measures a full start→complete transfer cycle with nBase
-// long-lived background flows: the population changes every op, so both
-// modes run the full solver and the delta isolates scratch reuse and event
-// recycling.
-func transferChurn(nBase int) func(b *testing.B) {
-	return func(b *testing.B) {
-		eng := sim.NewEngine()
-		s := fluid.NewSim(eng)
-		link := s.AddResource("link", 1e9)
-		for i := 0; i < nBase; i++ {
-			f := s.NewFlow("bg", 2e9)
-			f.Use(link, 1)
-			s.Start(&fluid.Transfer{Flow: f, Remaining: math.Inf(1)})
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			f := s.NewFlow("f", math.Inf(1))
-			f.Use(link, 1)
-			s.Start(&fluid.Transfer{Flow: f, Remaining: 1e6})
-			eng.Run()
 		}
 	}
 }
@@ -204,36 +338,119 @@ func runExperiment(name string, fn func() experiments.Result) experimentRun {
 	if afterS > 0 {
 		r.Speedup = beforeS / afterS
 	}
-	fmt.Printf("%-32s before %8.2fs   after %8.2fs   %5.1fx   bit-identical=%v\n",
+	fmt.Printf("%-34s before %8.2fs   after %8.2fs   %5.1fx   bit-identical=%v\n",
 		name, beforeS, afterS, r.Speedup, r.BitIdentical)
 	return r
 }
 
+// runS5Point replays one 100-host cluster point under both knob settings
+// and compares the replay trace digests directly: flow-class pooling, the
+// subgraph solver and the timer wheel run in the after mode only at the
+// solver/engine layer, yet the trace must not move by a bit.
+func runS5Point() experimentRun {
+	spec := experiments.ClusterRunSpec{
+		Hosts: 100, Shards: 4, Tenants: 200, Jobs: 1000, DropPct: 5, Seed: 42,
+	}
+	one := func(legacy bool) experiments.ClusterRunResult {
+		setMode(legacy)
+		defer setMode(false)
+		return experiments.RunClusterPoint(spec)
+	}
+	before := one(true)
+	after := one(false)
+	r := experimentRun{
+		Name:          "S5_cluster_point_100h",
+		BeforeSeconds: before.WallSeconds,
+		AfterSeconds:  after.WallSeconds,
+		OutputSHA256:  after.TraceSHA,
+		BitIdentical:  before.TraceSHA == after.TraceSHA,
+	}
+	if after.WallSeconds > 0 {
+		r.Speedup = before.WallSeconds / after.WallSeconds
+	}
+	fmt.Printf("%-34s before %8.2fs   after %8.2fs   %5.1fx   bit-identical=%v\n",
+		r.Name, r.BeforeSeconds, r.AfterSeconds, r.Speedup, r.BitIdentical)
+	return r
+}
+
+// smoke is the CI gate: assert the committed report carries the 100k churn
+// row at ≥10×, re-measure that point quickly, and replay S1/S2/S5 under
+// both knob settings checking hash equality.
+func smoke(reportPath string) int {
+	fail := 0
+	check := func(ok bool, format string, args ...any) {
+		if ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "SMOKE FAIL: "+format+"\n", args...)
+		fail = 1
+	}
+	buf, err := os.ReadFile(reportPath)
+	check(err == nil, "read %s: %v", reportPath, err)
+	if err == nil {
+		var rep report
+		check(json.Unmarshal(buf, &rep) == nil, "parse %s", reportPath)
+		found := false
+		for _, b := range rep.Benchmarks {
+			if strings.Contains(b.Name, "churn_100k") {
+				found = true
+				check(b.Speedup >= 10,
+					"committed 100k churn row speedup %.1fx < 10x", b.Speedup)
+			}
+		}
+		check(found, "no 100k-flow churn row in %s", reportPath)
+		for _, e := range rep.Experiments {
+			check(e.BitIdentical, "committed %s not bit-identical", e.Name)
+		}
+	}
+
+	live := solverChurn("solver_churn_100k_flows_smoke", 100_000, 20, 400)
+	check(live.Speedup >= 10, "live 100k churn improvement %.1fx < 10x", live.Speedup)
+
+	for _, e := range []experimentRun{
+		runExperiment("S1_scheduler_saturation", experiments.SchedulerSaturation),
+		runExperiment("S2_chaos_recovery", experiments.ChaosRecovery),
+		runS5Point(),
+	} {
+		check(e.BitIdentical, "%s trace diverged from the legacy-knob run", e.Name)
+	}
+	if fail == 0 {
+		fmt.Println("bench smoke: PASS")
+	}
+	return fail
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
-	benchtime := flag.Duration("benchtime", time.Second, "unused; kept for interface stability")
+	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	smokeMode := flag.Bool("smoke", false, "CI gate: fast churn + replay-hash asserts, no report write")
 	flag.Parse()
 
-	rep := report{
-		PR:        "PR3",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		Description: "before = legacy from-scratch solver + per-event allocation " +
-			"(fluid.LegacyFullSolve, sim.LegacyAlloc); after = incremental solver + event recycling. " +
-			"Same binary, same seeds; experiments hash their rendered output in both modes.",
+	if *smokeMode {
+		os.Exit(smoke(*out))
 	}
 
-	for _, n := range []int{10, 100, 1000, 10000} {
-		rep.Benchmarks = append(rep.Benchmarks,
-			measure(fmt.Sprintf("solver_demand_churn_%d_flows", n), *benchtime, demandChurn(n)))
+	rep := report{
+		PR:        "PR8",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Description: "churn rows: before = one solver flow per member stream (non-aggregated), " +
+			"after = flow-class aggregation + bottleneck-subgraph solve; ticker row: heap vs timer wheel; " +
+			"legacy rows and experiments: fluid.LegacyFullSolve + sim.LegacyAlloc baseline. " +
+			"Same binary, same seeds; S1/S2/S5 hash their output in both modes.",
 	}
+
 	rep.Benchmarks = append(rep.Benchmarks,
-		measure("solver_transfer_churn_100_flows", *benchtime, transferChurn(100)),
-		measure("engine_schedule_cancel_churn_1k", *benchtime, engineChurn(1000)),
+		solverChurn("solver_churn_10k_flows", 10_000, 200, 2000),
+		solverChurn("solver_churn_100k_flows", 100_000, 40, 2000),
+		solverChurn("solver_churn_1m_flows", 1_000_000, 10, 1000),
+		tickerStorm(100_000, 3),
+		measure("solver_demand_churn_10000_flows", demandChurn(10000)),
+		measure("engine_schedule_cancel_churn_1k", engineChurn(1000)),
 	)
 	rep.Experiments = append(rep.Experiments,
 		runExperiment("S1_scheduler_saturation", experiments.SchedulerSaturation),
 		runExperiment("S2_chaos_recovery", experiments.ChaosRecovery),
+		runS5Point(),
 	)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

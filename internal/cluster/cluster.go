@@ -25,6 +25,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"e2edt/internal/fabric"
@@ -77,6 +78,12 @@ type Config struct {
 	PerJobGbps float64
 	// MaxPerHost bounds concurrently admitted jobs per host per direction.
 	MaxPerHost int
+	// NoFlowClasses disables same-route job pooling: every job gets its
+	// own fluid flow, as before flow-class aggregation. Jobs whose charged
+	// resource sets coincide exactly (same tenant, shard, ECMP path and
+	// worker pair) normally share one class flow and disaggregate through
+	// per-member rates; the knob exists for the equivalence tests.
+	NoFlowClasses bool
 
 	// Control-plane model.
 	DropPct        float64      // control-RPC drop percentage (0–100)
@@ -295,6 +302,9 @@ type job struct {
 	xfer    *fluid.Transfer
 	hops    []fabric.Hop // charged route (nil for host-local copies)
 	shard   *shard
+	// class is the flow-class pool entry the job joined (nil when the job
+	// runs on a private flow: pooling disabled or a signature collision).
+	class *classEntry
 
 	// ckpt is the resume offset: bytes already acked at the destination.
 	// A source crash preserves it (resume-from-acked-offset); a destination
@@ -325,6 +335,12 @@ type Cluster struct {
 	jobs     []*job
 	datasets [][]int // dataset → replica host ids
 
+	// classes pools jobs whose charged resource sets coincide exactly into
+	// one fluid flow class per (shard, tenant, route) signature, so the
+	// solver sees O(classes) flows instead of O(jobs). Lookups are keyed
+	// only — never iterated — so the map cannot leak nondeterminism.
+	classes map[uint64]*classEntry
+
 	ctlRng *rand.Rand // control-plane drops; drawn in event order only
 
 	remaining int  // jobs not yet done or lost
@@ -349,6 +365,7 @@ type Cluster struct {
 	JobsLost    int
 	Digests     int
 	Adjusts     int
+	PooledJoins int // jobs that attached to an existing flow class
 
 	// Failure-plane tallies.
 	HostFails     int // crash-stop events
@@ -395,7 +412,20 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		FSim:        fluid.NewSim(eng),
 		Registry:    metrics.NewRegistry(),
 		DecisionLat: metrics.NewHistogram(0.5),
+		classes:     make(map[uint64]*classEntry),
 		ctlRng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5eedc0de)),
+	}
+	// Cluster runs fire tens of thousands of heartbeat, probe, digest and
+	// control-RPC delivery events per virtual second, all within a couple
+	// of control-plane periods of "now". Park them in a timer wheel sized
+	// to cover those periods; the heap keeps only sparse far-future events
+	// (lease grace, GiveUpAfter). No-op under sim.LegacyAlloc, so the
+	// legacy-knob replay exercises the plain heap.
+	if slot := cfg.HeartbeatEvery / 256; slot > 0 {
+		if slot < cfg.CtrlDelay {
+			slot = cfg.CtrlDelay
+		}
+		eng.EnableTimerWheel(slot, 1024)
 	}
 	ports := make([]fabric.Endpoint, 0, cfg.Hosts*cfg.Rails)
 	for i := 0; i < cfg.Hosts; i++ {
@@ -617,6 +647,62 @@ func (c *Cluster) locality(src, dst int) int {
 	return localityCore
 }
 
+// classEntry is one pooled flow class: jobs whose charged resource sets
+// coincide exactly attach as member streams of a single fluid flow and the
+// solver disaggregates per-member rates for free.
+type classEntry struct {
+	sig  uint64
+	flow *fluid.Flow
+	jobs int
+}
+
+// classSig hashes the pooling key: owning shard, tenant (fair-share weights
+// are per-tenant per-shard, so members must share both) and the exact
+// charged resource set. FNV-1a over deterministic resource indices, so the
+// signature is identical across replays.
+func classSig(shard, tenant int, uses []fluid.Usage) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(shard))
+	mix(uint64(tenant))
+	for _, u := range uses {
+		mix(uint64(u.Resource.Index()))
+		mix(math.Float64bits(u.Coeff))
+	}
+	return h
+}
+
+// sameUses reports whether two charged resource sets are identical — the
+// collision check behind the signature hash.
+func sameUses(a, b []fluid.Usage) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Resource != b[i].Resource || a[i].Coeff != b[i].Coeff || a[i].Tag != b[i].Tag {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseClass drops a job's hold on its pool entry once the fluid side has
+// detached its member transfer; the entry dies with its last member.
+func (c *Cluster) releaseClass(j *job) {
+	if j.class == nil {
+		return
+	}
+	j.class.jobs--
+	if j.class.jobs <= 0 {
+		delete(c.classes, j.class.sig)
+	}
+	j.class = nil
+}
+
 // start activates an admitted job: builds the flow over the chosen route
 // and charges both endpoints' CPU/memory plus every fabric hop. A job with
 // a checkpoint resumes: only size−ckpt bytes cross the wire again.
@@ -645,6 +731,26 @@ func (c *Cluster) start(j *job, sh *shard) {
 		dstT.ChargeMemory(f, dstBuf, 1, true, host.CatUser)
 		c.Topo.PortLinks[dp].A.ChargeDMA(f, dstBuf, 1, true, "dma")
 	}
+	if !c.Cfg.NoFlowClasses {
+		sig := classSig(sh.id, j.tenant, f.Uses)
+		if ent, ok := c.classes[sig]; ok {
+			if sameUses(ent.flow.Uses, f.Uses) {
+				// Another job already runs this exact resource path:
+				// discard the freshly built twin and join its class.
+				c.FSim.Network.RemoveFlow(f)
+				f = ent.flow
+				j.flow = f
+				ent.jobs++
+				j.class = ent
+				c.PooledJoins++
+			}
+			// Signature collision with different uses: run unpooled.
+		} else {
+			ent := &classEntry{sig: sig, flow: f, jobs: 1}
+			c.classes[sig] = ent
+			j.class = ent
+		}
+	}
 	src.srcActive++
 	dst.dstActive++
 	src.srcJobs.Add(1)
@@ -669,7 +775,11 @@ func (c *Cluster) start(j *job, sh *shard) {
 		Remaining:  remaining,
 		OnComplete: func(now sim.Time) { c.finish(j, now) },
 	}
-	c.FSim.Start(j.xfer)
+	if j.class != nil {
+		c.FSim.StartMember(j.xfer)
+	} else {
+		c.FSim.Start(j.xfer)
+	}
 }
 
 // finish handles transfer completion: accounting, fair-share bookkeeping,
@@ -683,6 +793,7 @@ func (c *Cluster) finish(j *job, now sim.Time) {
 		src.srcActive--
 		dst.dstActive--
 		j.ckpt = 0
+		c.releaseClass(j)
 		j.xfer, j.flow, j.hops = nil, nil, nil
 		c.VoidedJobs++
 		c.JobsRequeued++
@@ -694,6 +805,7 @@ func (c *Cluster) finish(j *job, now sim.Time) {
 	src.srcActive--
 	dst.dstActive--
 	dst.delivered.Add(j.size)
+	c.releaseClass(j)
 	j.state = jobDone
 	c.completions[j.id]++
 	j.shard.jobDone(j)

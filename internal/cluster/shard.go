@@ -5,7 +5,6 @@ import (
 	"sort"
 	"time"
 
-	"e2edt/internal/fluid"
 	"e2edt/internal/sim"
 )
 
@@ -202,6 +201,7 @@ func (s *shard) requeue(j *job, dstLost bool, why string) {
 		j.ckpt += j.xfer.Transferred()
 	}
 	c.FSim.Cancel(j.xfer)
+	c.releaseClass(j)
 	j.xfer, j.flow, j.hops = nil, nil, nil
 	c.hosts[j.src].srcActive--
 	c.hosts[j.dst].dstActive--
@@ -503,7 +503,10 @@ func (s *shard) admit() {
 
 // rebalance recomputes flow weights for the given tenants so that each
 // tenant's aggregate share in this shard tracks weight × adjust regardless
-// of how many flows it has running. One Refresh propagates the batch.
+// of how many jobs it has running. One Reschedule propagates the batch:
+// weight writes are ordinary parameter changes to the dirty scan, so the
+// solver refills only the bottleneck subgraphs the touched flows cross
+// instead of invalidating the whole network.
 func (s *shard) rebalance(tenants []int) {
 	sort.Ints(tenants)
 	changed := false
@@ -518,27 +521,36 @@ func (s *shard) rebalance(tenants []int) {
 		}
 	}
 	if changed {
-		s.c.FSim.Refresh()
+		s.c.FSim.Reschedule()
 	}
 }
 
-// applyWeight sets weight×adjust/activeFlows on every running flow of
-// tenant t, reporting whether anything moved.
+// applyWeight sets weight×adjust/runningJobs on every running flow of
+// tenant t, reporting whether anything moved. Pooled jobs share a class
+// flow whose per-member weight is exactly the per-job share, so writing the
+// same w to each member's flow is idempotent. A tenant whose last job
+// completed in this same reconcile tick has no running jobs even though its
+// digest just arrived — the n==0 guard keeps that race from dividing by
+// zero — and a job mid-requeue can sit in the running set with a nil flow,
+// which must not be dereferenced or counted toward the split.
 func (s *shard) applyWeight(t int) bool {
-	var flows []*fluid.Flow
+	n := 0
 	for _, j := range s.running {
-		if j.tenant == t {
-			flows = append(flows, j.flow)
+		if j.tenant == t && j.flow != nil {
+			n++
 		}
 	}
-	if len(flows) == 0 {
+	if n == 0 {
 		return false
 	}
-	w := s.c.tenants[t].weight * s.adjust[t] / float64(len(flows))
+	w := s.c.tenants[t].weight * s.adjust[t] / float64(n)
 	changed := false
-	for _, f := range flows {
-		if diff := f.Weight - w; diff > 1e-9 || diff < -1e-9 {
-			f.Weight = w
+	for _, j := range s.running {
+		if j.tenant != t || j.flow == nil {
+			continue
+		}
+		if diff := j.flow.Weight - w; diff > 1e-9 || diff < -1e-9 {
+			j.flow.Weight = w
 			changed = true
 		}
 	}

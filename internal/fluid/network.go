@@ -14,6 +14,27 @@
 // its demand cap, those flows freeze, and filling continues. The result is
 // the weighted max-min fair allocation, the standard fluid approximation for
 // bandwidth sharing in networks and memory systems.
+//
+// # Flow classes
+//
+// A flow may stand for k identical member streams (NewFlowClass, SetMembers):
+// Demand and Weight are per member, the class competes with effective weight
+// Weight×members, and the solved aggregate Rate() is members×MemberRate().
+// Because every member of a class crosses the same resources with the same
+// coefficients and weight, the max-min allocation splits the class rate
+// evenly — MemberRate() is the exact per-stream disaggregation. Collapsing k
+// same-path/same-weight flows into one class flow shrinks both the solver
+// population and the dirty scan from O(streams) to O(classes).
+//
+// # Bottleneck subgraphs
+//
+// The flow/resource bipartite graph is partitioned into connected components
+// (rebuilt on every structural Solve). Progressive filling is purely
+// component-local — a component's rates depend only on its own flows and
+// resources — so Resolve refills just the components containing a changed
+// flow or resource and proves the rest fixed-point stable by construction:
+// their inputs are unchanged and the deterministic per-component fill would
+// reproduce the stored rates bit for bit.
 package fluid
 
 import (
@@ -39,6 +60,11 @@ type Resource struct {
 // recent Solve, in resource units per second.
 func (r *Resource) Load() float64 { return r.load }
 
+// Index returns the resource's registration position in its network. It is
+// stable for the resource's lifetime, which makes it a deterministic key
+// for route signatures and flow-class pooling.
+func (r *Resource) Index() int { return r.index }
+
 // Utilization returns Load/Capacity, or 0 for zero-capacity resources.
 func (r *Resource) Utilization() float64 {
 	if r.Capacity <= 0 {
@@ -56,19 +82,37 @@ type Usage struct {
 	Tag      string
 }
 
-// Flow is a fluid stream. Rate is computed by Network.Solve.
+// Flow is a fluid stream, or a class of identical member streams. Demand and
+// Weight are per member; rate is computed by Network.Solve.
 type Flow struct {
 	Name   string
-	Demand float64 // upper bound on rate; math.Inf(1) if unbounded
-	Weight float64 // share weight for max-min fairness; must be > 0
+	Demand float64 // per-member upper bound on rate; math.Inf(1) if unbounded
+	Weight float64 // per-member share weight for max-min fairness; must be > 0
 	Uses   []Usage
 
-	rate   float64
-	frozen bool
+	// members is the stream multiplicity (≥1). The class competes with
+	// effective weight Weight×members and Rate() aggregates all members.
+	members int
+	// attached counts member transfers bound via Sim.StartMember.
+	attached int
+	// index is the flow's position in its network, for O(1) removal.
+	index int
+
+	rate       float64 // aggregate: members × memberRate
+	memberRate float64
+	frozen     bool
 }
 
-// Rate returns the solved rate in flow units (bytes) per second.
+// Rate returns the solved aggregate rate in flow units (bytes) per second,
+// summed over all members of the class.
 func (f *Flow) Rate() float64 { return f.rate }
+
+// MemberRate returns the solved rate of one member stream. For a plain flow
+// (members==1) it equals Rate().
+func (f *Flow) MemberRate() float64 { return f.memberRate }
+
+// Members returns the stream multiplicity of the class (1 for plain flows).
+func (f *Flow) Members() int { return f.members }
 
 // Use adds a resource the flow consumes, with the given coefficient.
 // Non-positive coefficients are ignored: they denote "does not touch".
@@ -99,6 +143,12 @@ var LegacyFullSolve bool
 type SolverStats struct {
 	// FullSolves is the number of complete progressive-filling runs.
 	FullSolves uint64
+	// PartialSolves counts Resolve calls satisfied by refilling only the
+	// bottleneck subgraphs (connected components) containing a change.
+	PartialSolves uint64
+	// ComponentSolves is the number of per-component fill passes, across
+	// both full and partial solves.
+	ComponentSolves uint64
 	// FastResolves counts single-flow demand updates absorbed without a
 	// solve because the demand cap was non-binding before and after.
 	FastResolves uint64
@@ -117,17 +167,42 @@ type Network struct {
 	residual []float64
 	sumW     []float64
 
+	// Connected-component partition of the flow/resource bipartite graph,
+	// rebuilt by every full Solve. compOf maps a resource index to a dense
+	// component id; flowComp maps a flow index (-1 for flows crossing no
+	// resource). flowOrder/resOrder group flow and resource indices by
+	// component (stable within a component), with flows that cross nothing
+	// in a trailing bucket at flowOff[ncomp]..flowOff[ncomp+1].
+	compOf    []int32
+	flowComp  []int32
+	ncomp     int
+	flowOrder []int32
+	flowOff   []int32
+	resOrder  []int32
+	resOff    []int32
+	ufParent  []int32 // union-find scratch
+	rootID    []int32 // dense component ids per union-find root
+	compCnt   []int32 // counting-sort scratch
+
+	// Dirty-scan and partial-solve scratch.
+	dirtyF    []int32
+	dirtyR    []int32
+	compDirty []bool
+	compList  []int32
+	bucketHit []int32
+
 	// Snapshot of every solver input at the last Solve. Resolve diffs the
 	// live state against it to decide whether a re-solve is needed, which
 	// also catches direct writes to Flow.Demand/Weight and
 	// Resource.Capacity that bypass the Sim setters.
-	solved     bool
-	snapFlows  []*Flow
-	snapDemand []float64
-	snapWeight []float64
-	snapUses   []int // len(Flow.Uses); catches Use() after a solve
-	snapRes    []*Resource
-	snapCap    []float64
+	solved      bool
+	snapFlows   []*Flow
+	snapDemand  []float64
+	snapWeight  []float64
+	snapMembers []int32
+	snapUses    []int // len(Flow.Uses); catches Use() after a solve
+	snapRes     []*Resource
+	snapCap     []float64
 
 	stats  SolverStats
 	legacy bool
@@ -150,23 +225,47 @@ func (n *Network) AddResource(name string, capacity float64) *Resource {
 // NewFlow creates and registers a flow with the given demand cap. Use
 // math.Inf(1) for an unbounded flow. The default weight is 1.
 func (n *Network) NewFlow(name string, demand float64) *Flow {
+	return n.NewFlowClass(name, demand, 1)
+}
+
+// NewFlowClass creates and registers a flow standing for members identical
+// streams. demand is the per-member demand cap.
+func (n *Network) NewFlowClass(name string, demand float64, members int) *Flow {
 	if demand < 0 || math.IsNaN(demand) {
 		panic(fmt.Sprintf("fluid: invalid demand %v for %s", demand, name))
 	}
-	f := &Flow{Name: name, Demand: demand, Weight: 1}
+	if members < 1 {
+		panic(fmt.Sprintf("fluid: invalid member count %d for %s", members, name))
+	}
+	f := &Flow{Name: name, Demand: demand, Weight: 1, members: members, index: len(n.flows)}
 	n.flows = append(n.flows, f)
 	return f
 }
 
+// SetMembers changes a class's stream multiplicity. The dirty scan picks the
+// change up on the next Resolve, exactly like a demand or weight write.
+func (n *Network) SetMembers(f *Flow, members int) {
+	if members < 1 {
+		panic(fmt.Sprintf("fluid: invalid member count %d for %s", members, f.Name))
+	}
+	f.members = members
+}
+
 // RemoveFlow unregisters a flow. Its last solved rate becomes zero.
 func (n *Network) RemoveFlow(f *Flow) {
-	for i, g := range n.flows {
-		if g == f {
-			n.flows = append(n.flows[:i], n.flows[i+1:]...)
-			f.rate = 0
-			return
-		}
+	i := f.index
+	if i < 0 || i >= len(n.flows) || n.flows[i] != f {
+		return // already removed, or foreign flow
 	}
+	copy(n.flows[i:], n.flows[i+1:])
+	n.flows[len(n.flows)-1] = nil
+	n.flows = n.flows[:len(n.flows)-1]
+	for j := i; j < len(n.flows); j++ {
+		n.flows[j].index = j
+	}
+	f.index = -1
+	f.rate = 0
+	f.memberRate = 0
 }
 
 // Flows returns the registered flows (shared slice; do not mutate).
@@ -177,16 +276,135 @@ func (n *Network) Resources() []*Resource { return n.resources }
 
 const eps = 1e-12
 
+// growI32 returns buf resized to n (fresh under legacy semantics).
+func growI32(buf []int32, n int, legacy bool) []int32 {
+	if legacy || cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// rebuildPartition recomputes the connected components of the flow/resource
+// bipartite graph. It is a pure function of the structure (populations and
+// Uses), so the optimized and legacy paths always agree on the partition.
+func (n *Network) rebuildPartition() {
+	nr := len(n.resources)
+	nf := len(n.flows)
+	uf := growI32(n.ufParent, nr, n.legacy)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	find := func(i int32) int32 {
+		for uf[i] != i {
+			uf[i] = uf[uf[i]] // path halving
+			i = uf[i]
+		}
+		return i
+	}
+	for _, f := range n.flows {
+		if len(f.Uses) == 0 {
+			continue
+		}
+		a := find(int32(f.Uses[0].Resource.index))
+		for _, u := range f.Uses[1:] {
+			if b := find(int32(u.Resource.index)); b != a {
+				uf[b] = a
+			}
+		}
+	}
+	n.ufParent = uf
+
+	// Dense component ids, assigned in ascending resource-index order so
+	// the numbering is deterministic.
+	compOf := growI32(n.compOf, nr, n.legacy)
+	rootID := growI32(n.rootID, nr, n.legacy)
+	for i := range rootID {
+		rootID[i] = -1
+	}
+	next := int32(0)
+	for i := 0; i < nr; i++ {
+		r := find(int32(i))
+		if rootID[r] < 0 {
+			rootID[r] = next
+			next++
+		}
+		compOf[i] = rootID[r]
+	}
+	n.compOf, n.rootID = compOf, rootID
+	n.ncomp = int(next)
+
+	flowComp := growI32(n.flowComp, nf, n.legacy)
+	for i, f := range n.flows {
+		if len(f.Uses) == 0 {
+			flowComp[i] = -1
+		} else {
+			flowComp[i] = compOf[f.Uses[0].Resource.index]
+		}
+	}
+	n.flowComp = flowComp
+
+	// Counting sort (stable) groups flow and resource indices by component.
+	cnt := growI32(n.compCnt, n.ncomp+1, n.legacy) // +1: no-uses bucket
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, c := range flowComp {
+		if c < 0 {
+			cnt[n.ncomp]++
+		} else {
+			cnt[c]++
+		}
+	}
+	flowOff := growI32(n.flowOff, n.ncomp+2, n.legacy)
+	flowOff[0] = 0
+	for i := 0; i <= n.ncomp; i++ {
+		flowOff[i+1] = flowOff[i] + cnt[i]
+		cnt[i] = flowOff[i]
+	}
+	flowOrder := growI32(n.flowOrder, nf, n.legacy)
+	for i, c := range flowComp {
+		b := c
+		if b < 0 {
+			b = int32(n.ncomp)
+		}
+		flowOrder[cnt[b]] = int32(i)
+		cnt[b]++
+	}
+	n.flowOff, n.flowOrder = flowOff, flowOrder
+
+	for i := range cnt[:n.ncomp] {
+		cnt[i] = 0
+	}
+	for _, c := range compOf {
+		cnt[c]++
+	}
+	resOff := growI32(n.resOff, n.ncomp+1, n.legacy)
+	resOff[0] = 0
+	for i := 0; i < n.ncomp; i++ {
+		resOff[i+1] = resOff[i] + cnt[i]
+		cnt[i] = resOff[i]
+	}
+	resOrder := growI32(n.resOrder, nr, n.legacy)
+	for i, c := range compOf {
+		resOrder[cnt[c]] = int32(i)
+		cnt[c]++
+	}
+	n.resOff, n.resOrder, n.compCnt = resOff, resOrder, cnt
+}
+
 // Solve computes the weighted max-min fair rate for every registered flow
 // and the resulting load on every resource.
 //
-// Implementation: weighted progressive filling with incremental
-// bookkeeping. residual[i] tracks each resource's remaining capacity after
-// frozen flows; sumW[i] tracks Σ coeff×weight over unfrozen flows crossing
-// it. Freezing a flow subtracts its contributions once, so each iteration
-// costs O(resources + flows) rather than O(resources × flows × uses).
+// Implementation: the flow/resource graph is partitioned into connected
+// components and each component is filled independently by weighted
+// progressive filling with incremental bookkeeping. residual[i] tracks each
+// resource's remaining capacity after frozen flows; sumW[i] tracks
+// Σ coeff×weight×members over unfrozen flows crossing it. Freezing a flow
+// subtracts its contributions once, so each iteration costs O(component)
+// rather than O(resources × flows × uses).
 func (n *Network) Solve() {
 	n.stats.FullSolves++
+	n.rebuildPartition()
 	nr := len(n.resources)
 	var residual, sumW []float64
 	if n.legacy {
@@ -199,17 +417,34 @@ func (n *Network) Solve() {
 		}
 		residual = n.residual[:nr]
 		sumW = n.sumW[:nr]
-		for i := range sumW {
-			sumW[i] = 0
-		}
 	}
-	for i, r := range n.resources {
+	for ci := 0; ci < n.ncomp; ci++ {
+		n.fill(n.flowOrder[n.flowOff[ci]:n.flowOff[ci+1]],
+			n.resOrder[n.resOff[ci]:n.resOff[ci+1]], residual, sumW)
+	}
+	if b := n.flowOrder[n.flowOff[n.ncomp]:n.flowOff[n.ncomp+1]]; len(b) > 0 {
+		n.fill(b, nil, residual, sumW)
+	}
+	n.snapshot()
+}
+
+// fill runs progressive filling over one component: the flows (indices into
+// n.flows) and resources (indices into n.resources) listed. Rates outside
+// the component are untouched; the arithmetic depends only on component
+// inputs, which is what makes partial solves bit-identical to full ones.
+func (n *Network) fill(fidx, ridx []int32, residual, sumW []float64) {
+	n.stats.ComponentSolves++
+	for _, ri := range ridx {
+		r := n.resources[ri]
 		r.load = 0
-		residual[i] = r.Capacity
+		residual[ri] = r.Capacity
+		sumW[ri] = 0
 	}
 	unfrozen := 0
-	for _, f := range n.flows {
+	for _, fi := range fidx {
+		f := n.flows[fi]
 		f.rate = 0
+		f.memberRate = 0
 		f.frozen = false
 		if f.Weight <= 0 {
 			panic(fmt.Sprintf("fluid: flow %s has non-positive weight %v", f.Name, f.Weight))
@@ -219,20 +454,23 @@ func (n *Network) Solve() {
 			continue
 		}
 		unfrozen++
+		ew := f.Weight * float64(f.members)
 		for _, u := range f.Uses {
-			sumW[u.Resource.index] += u.Coeff * f.Weight
+			sumW[u.Resource.index] += u.Coeff * ew
 		}
 	}
 
-	// freeze fixes a flow's rate and retires its resource contributions.
-	freeze := func(f *Flow, rate float64) {
-		f.rate = rate
+	// freeze fixes a flow's per-member rate and retires its contributions.
+	freeze := func(f *Flow, memberRate float64) {
+		f.memberRate = memberRate
+		f.rate = memberRate * float64(f.members)
 		f.frozen = true
 		unfrozen--
+		ew := f.Weight * float64(f.members)
 		for _, u := range f.Uses {
 			i := u.Resource.index
-			sumW[i] -= u.Coeff * f.Weight
-			residual[i] -= u.Coeff * rate
+			sumW[i] -= u.Coeff * ew
+			residual[i] -= u.Coeff * f.rate
 			if residual[i] < 0 {
 				residual[i] = 0
 			}
@@ -242,19 +480,20 @@ func (n *Network) Solve() {
 		}
 	}
 
-	// level is the water level λ: every unfrozen flow has rate Weight×λ.
+	// level is the water level λ: every unfrozen member runs at Weight×λ.
 	level := 0.0
 	for unfrozen > 0 {
 		lambda := math.Inf(1)
-		for i := range n.resources {
-			if sumW[i] > eps {
-				if lr := residual[i] / sumW[i]; lr < lambda {
+		for _, ri := range ridx {
+			if sumW[ri] > eps {
+				if lr := residual[ri] / sumW[ri]; lr < lambda {
 					lambda = lr
 				}
 			}
 		}
 		demandLambda := math.Inf(1)
-		for _, f := range n.flows {
+		for _, fi := range fidx {
+			f := n.flows[fi]
 			if f.frozen {
 				continue
 			}
@@ -265,11 +504,12 @@ func (n *Network) Solve() {
 
 		target := math.Min(lambda, demandLambda)
 		if math.IsInf(target, 1) {
-			// Unbounded flows with no resource usage: deliberate infinite
-			// rate.
-			for _, f := range n.flows {
-				if !f.frozen {
-					f.rate = f.Demand
+			// Unbounded flows with no constraining resource: deliberate
+			// infinite rate.
+			for _, fi := range fidx {
+				if f := n.flows[fi]; !f.frozen {
+					f.memberRate = f.Demand
+					f.rate = f.Demand * float64(f.members)
 					f.frozen = true
 					unfrozen--
 				}
@@ -283,22 +523,24 @@ func (n *Network) Solve() {
 		tol := level + eps*math.Max(1, level)
 
 		frozeAny := false
-		// Demand-capped flows freeze at their demand.
-		for _, f := range n.flows {
-			if !f.frozen && f.Demand/f.Weight <= tol {
+		// Demand-capped flows freeze at their per-member demand.
+		for _, fi := range fidx {
+			if f := n.flows[fi]; !f.frozen && f.Demand/f.Weight <= tol {
 				freeze(f, f.Demand)
 				frozeAny = true
 			}
 		}
 		if lambda <= demandLambda+eps {
 			// Saturated resources freeze every unfrozen flow crossing
-			// them at Weight×λ.
-			for i, r := range n.resources {
-				if sumW[i] <= eps {
+			// them at Weight×λ per member.
+			for _, ri := range ridx {
+				if sumW[ri] <= eps {
 					continue
 				}
-				if residual[i]/sumW[i] <= tol {
-					for _, f := range n.flows {
+				if residual[ri]/sumW[ri] <= tol {
+					r := n.resources[ri]
+					for _, fi := range fidx {
+						f := n.flows[fi]
 						if f.frozen {
 							continue
 						}
@@ -319,8 +561,8 @@ func (n *Network) Solve() {
 		}
 		if !frozeAny {
 			// Defensive: should be unreachable, but avoid an infinite loop.
-			for _, f := range n.flows {
-				if !f.frozen {
+			for _, fi := range fidx {
+				if f := n.flows[fi]; !f.frozen {
 					freeze(f, f.Weight*level)
 				}
 			}
@@ -328,12 +570,12 @@ func (n *Network) Solve() {
 	}
 
 	// Compute resource loads from final rates.
-	for _, f := range n.flows {
+	for _, fi := range fidx {
+		f := n.flows[fi]
 		for _, u := range f.Uses {
 			u.Resource.load += u.Coeff * f.rate
 		}
 	}
-	n.snapshot()
 }
 
 // snapshot records the solver inputs the allocation was computed from.
@@ -343,14 +585,17 @@ func (n *Network) snapshot() {
 	if cap(n.snapDemand) < len(n.flows) {
 		n.snapDemand = make([]float64, len(n.flows))
 		n.snapWeight = make([]float64, len(n.flows))
+		n.snapMembers = make([]int32, len(n.flows))
 		n.snapUses = make([]int, len(n.flows))
 	}
 	n.snapDemand = n.snapDemand[:len(n.flows)]
 	n.snapWeight = n.snapWeight[:len(n.flows)]
+	n.snapMembers = n.snapMembers[:len(n.flows)]
 	n.snapUses = n.snapUses[:len(n.flows)]
 	for i, f := range n.flows {
 		n.snapDemand[i] = f.Demand
 		n.snapWeight[i] = f.Weight
+		n.snapMembers[i] = int32(f.members)
 		n.snapUses[i] = len(f.Uses)
 	}
 	if cap(n.snapCap) < len(n.resources) {
@@ -373,7 +618,7 @@ type ResourceUtil struct {
 	Name     string
 	Capacity float64 // resource units per second
 	Load     float64 // solved aggregate consumption
-	Demand   float64 // offered load Σ coeff×flow.Demand; +Inf if any user is unbounded
+	Demand   float64 // offered load Σ coeff×members×flow.Demand; +Inf if any user is unbounded
 	Share    float64 // Load/Capacity; 0 for zero-capacity resources
 }
 
@@ -400,8 +645,9 @@ func (n *Network) Utilization() []ResourceUtil {
 		}
 	}
 	for _, f := range n.flows {
+		ed := f.Demand * float64(f.members)
 		for _, u := range f.Uses {
-			out[u.Resource.index].Demand += u.Coeff * f.Demand
+			out[u.Resource.index].Demand += u.Coeff * ed
 		}
 	}
 	return out
@@ -410,64 +656,136 @@ func (n *Network) Utilization() []ResourceUtil {
 // Stats returns counters describing how Resolve calls were satisfied.
 func (n *Network) Stats() SolverStats { return n.stats }
 
-// changedFlow locates what differs from the last-solved snapshot. ok
-// reports whether the only difference is a single flow's demand (idx into
-// n.flows); any reports whether anything differs at all.
-func (n *Network) changedFlow() (idx int, ok, any bool) {
+// diff classifies every change since the last snapshot. structural means
+// the partition may have moved (populations or Uses changed) and a full
+// Solve is required; otherwise n.dirtyF/n.dirtyR list the flow/resource
+// indices whose parameters changed. demandOnly reports that every dirty
+// flow changed nothing but its demand.
+func (n *Network) diff() (structural, demandOnly bool) {
+	n.dirtyF = n.dirtyF[:0]
+	n.dirtyR = n.dirtyR[:0]
+	demandOnly = true
 	if len(n.resources) != len(n.snapRes) || len(n.flows) != len(n.snapFlows) {
-		return 0, false, true
+		return true, false
 	}
 	for i, r := range n.resources {
-		if r != n.snapRes[i] || r.Capacity != n.snapCap[i] {
-			return 0, false, true
+		if r != n.snapRes[i] {
+			return true, false
+		}
+		if r.Capacity != n.snapCap[i] {
+			n.dirtyR = append(n.dirtyR, int32(i))
 		}
 	}
-	idx = -1
 	for i, f := range n.flows {
-		if f != n.snapFlows[i] || f.Weight != n.snapWeight[i] || len(f.Uses) != n.snapUses[i] {
-			return 0, false, true
+		if f != n.snapFlows[i] || len(f.Uses) != n.snapUses[i] {
+			return true, false
 		}
-		if f.Demand != n.snapDemand[i] {
-			if idx >= 0 {
-				return 0, false, true // more than one demand changed
+		if f.Demand != n.snapDemand[i] || f.Weight != n.snapWeight[i] || int32(f.members) != n.snapMembers[i] {
+			n.dirtyF = append(n.dirtyF, int32(i))
+			if f.Weight != n.snapWeight[i] || int32(f.members) != n.snapMembers[i] {
+				demandOnly = false
 			}
-			idx = i
 		}
 	}
-	if idx < 0 {
-		return 0, false, false
-	}
-	return idx, true, true
+	return false, demandOnly
 }
 
-// Resolve re-solves only if the flow population, demands, weights, uses or
-// capacities changed since the last Solve, and absorbs a single-flow
-// demand change without solving when the cap is non-binding before and
-// after (the solved rate sits strictly below both, so the max-min
-// allocation is unchanged). It reports whether a full Solve ran.
+// partialSolve refills exactly the components containing a dirty flow or
+// resource (per n.dirtyF/n.dirtyR). The frontier argument for leaving every
+// other component untouched: fill is deterministic and reads only
+// component-local inputs, those inputs are unchanged (the dirty scan proved
+// it), so re-running fill there would reproduce the stored rates bit for
+// bit. Flows crossing no resource are independent and refill individually.
+func (n *Network) partialSolve() {
+	n.stats.PartialSolves++
+	if cap(n.compDirty) < n.ncomp {
+		n.compDirty = make([]bool, n.ncomp)
+	}
+	dirty := n.compDirty[:n.ncomp]
+	n.compList = n.compList[:0]
+	n.bucketHit = n.bucketHit[:0]
+	for _, fi := range n.dirtyF {
+		c := n.flowComp[fi]
+		if c < 0 {
+			n.bucketHit = append(n.bucketHit, fi)
+			continue
+		}
+		if !dirty[c] {
+			dirty[c] = true
+			n.compList = append(n.compList, c)
+		}
+	}
+	for _, ri := range n.dirtyR {
+		c := n.compOf[ri]
+		if !dirty[c] {
+			dirty[c] = true
+			n.compList = append(n.compList, c)
+		}
+	}
+	// Ascending component order, for reproducible stats and cache locality
+	// (insertion sort: the list is tiny and must not allocate).
+	for i := 1; i < len(n.compList); i++ {
+		for j := i; j > 0 && n.compList[j] < n.compList[j-1]; j-- {
+			n.compList[j], n.compList[j-1] = n.compList[j-1], n.compList[j]
+		}
+	}
+	residual := n.residual[:len(n.resources)]
+	sumW := n.sumW[:len(n.resources)]
+	for _, c := range n.compList {
+		n.fill(n.flowOrder[n.flowOff[c]:n.flowOff[c+1]],
+			n.resOrder[n.resOff[c]:n.resOff[c+1]], residual, sumW)
+		dirty[c] = false
+	}
+	if len(n.bucketHit) > 0 {
+		n.fill(n.bucketHit, nil, residual, sumW)
+	}
+	// Refresh only the snapshot entries that moved; everything else is
+	// still current.
+	for _, fi := range n.dirtyF {
+		f := n.flows[fi]
+		n.snapDemand[fi] = f.Demand
+		n.snapWeight[fi] = f.Weight
+		n.snapMembers[fi] = int32(f.members)
+	}
+	for _, ri := range n.dirtyR {
+		n.snapCap[ri] = n.resources[ri].Capacity
+	}
+}
+
+// Resolve re-solves only what changed since the last Solve: nothing on a
+// clean network, a single non-binding demand change without any solve (the
+// solved rate sits strictly below both old and new caps, so the max-min
+// allocation is unchanged), only the dirty bottleneck subgraphs for
+// parameter changes, and a full Solve for structural changes (population or
+// Uses). It reports whether any solving ran.
 func (n *Network) Resolve() bool {
 	if n.legacy || !n.solved {
 		n.Solve()
 		return true
 	}
-	idx, one, any := n.changedFlow()
-	if !any {
+	structural, demandOnly := n.diff()
+	if structural {
+		n.Solve()
+		return true
+	}
+	if len(n.dirtyF) == 0 && len(n.dirtyR) == 0 {
 		n.stats.Skips++
 		return false
 	}
-	if one {
-		f := n.flows[idx]
-		old := n.snapDemand[idx]
+	if demandOnly && len(n.dirtyF) == 1 && len(n.dirtyR) == 0 {
+		fi := n.dirtyF[0]
+		f := n.flows[fi]
+		old := n.snapDemand[fi]
 		// Margin keeps the fast path well clear of the solver's freeze
 		// tolerance, so a from-scratch Solve would take the exact same
 		// branches and reproduce the current rates bit for bit.
-		margin := 1e-6 * math.Max(1, f.rate)
-		if math.Min(old, f.Demand) > f.rate+margin {
-			n.snapDemand[idx] = f.Demand
+		margin := 1e-6 * math.Max(1, f.memberRate)
+		if math.Min(old, f.Demand) > f.memberRate+margin {
+			n.snapDemand[fi] = f.Demand
 			n.stats.FastResolves++
 			return false
 		}
 	}
-	n.Solve()
+	n.partialSolve()
 	return true
 }

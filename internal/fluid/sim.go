@@ -22,6 +22,9 @@ type Transfer struct {
 	started     sim.Time
 	finished    sim.Time
 	active      bool
+	// member marks a transfer started with StartMember: it is one member
+	// stream of a flow class and progresses at MemberRate, not Rate.
+	member bool
 	// usageBase is the transferred count at the last ResetUsage, so that
 	// accounting can be cleared without disturbing progress.
 	usageBase float64
@@ -97,9 +100,44 @@ func (s *Sim) Start(t *Transfer) {
 	s.Engine.Tracef("fluid", "start %s remaining=%g rate=%g", t.Flow.Name, t.Remaining, t.Flow.rate)
 }
 
+// StartMember activates a transfer as one member stream of the transfer's
+// flow class: the class's member count tracks the number of attached member
+// transfers, and the transfer progresses at the per-member disaggregated
+// rate. When the last member finishes (or is cancelled) the flow is removed
+// from the network, exactly like a plain Start'ed flow.
+func (s *Sim) StartMember(t *Transfer) {
+	if t.Flow == nil {
+		panic("fluid: transfer without flow")
+	}
+	if t.active {
+		panic(fmt.Sprintf("fluid: transfer %s started twice", t.Flow.Name))
+	}
+	if t.Remaining <= 0 && !math.IsInf(t.Remaining, 1) {
+		panic(fmt.Sprintf("fluid: transfer %s with non-positive size", t.Flow.Name))
+	}
+	s.Sync()
+	f := t.Flow
+	f.attached++
+	if f.attached > 1 {
+		s.Network.SetMembers(f, f.attached)
+	}
+	t.member = true
+	t.active = true
+	t.started = s.Engine.Now()
+	s.active = append(s.active, t)
+	s.reschedule()
+	s.Engine.Tracef("fluid", "start-member %s n=%d remaining=%g rate=%g",
+		f.Name, f.members, t.Remaining, f.memberRate)
+}
+
 // NewFlow registers a flow in the simulator's network.
 func (s *Sim) NewFlow(name string, demand float64) *Flow {
 	return s.Network.NewFlow(name, demand)
+}
+
+// NewFlowClass registers a flow class of members identical streams.
+func (s *Sim) NewFlowClass(name string, demand float64, members int) *Flow {
+	return s.Network.NewFlowClass(name, demand, members)
 }
 
 // AddResource registers a resource in the simulator's network.
@@ -114,6 +152,23 @@ func (s *Sim) SetDemand(f *Flow, demand float64) {
 	}
 	s.Sync()
 	f.Demand = demand
+	s.reschedule()
+}
+
+// SetWeight changes a flow's fair-share weight and re-solves.
+func (s *Sim) SetWeight(f *Flow, weight float64) {
+	if weight <= 0 || math.IsNaN(weight) {
+		panic(fmt.Sprintf("fluid: invalid weight %v", weight))
+	}
+	s.Sync()
+	f.Weight = weight
+	s.reschedule()
+}
+
+// SetMembers changes a class's stream multiplicity and re-solves.
+func (s *Sim) SetMembers(f *Flow, members int) {
+	s.Sync()
+	s.Network.SetMembers(f, members)
 	s.reschedule()
 }
 
@@ -139,9 +194,35 @@ func (s *Sim) Cancel(t *Transfer) {
 	t.active = false
 	t.finished = s.Engine.Now()
 	s.removeActive(t)
-	s.Network.RemoveFlow(t.Flow)
+	s.detach(t)
 	s.reschedule()
 	s.Engine.Tracef("fluid", "cancel %s transferred=%g", t.Flow.Name, t.transferred)
+}
+
+// detach releases a finished transfer's hold on its flow: member transfers
+// shrink the class (removing the flow when the last member leaves), plain
+// transfers remove the flow outright.
+func (s *Sim) detach(t *Transfer) {
+	f := t.Flow
+	if !t.member {
+		s.Network.RemoveFlow(f)
+		return
+	}
+	f.attached--
+	if f.attached <= 0 {
+		s.Network.RemoveFlow(f)
+		return
+	}
+	s.Network.SetMembers(f, f.attached)
+}
+
+// rateOf returns the rate at which the transfer moves fluid: the per-member
+// rate for member transfers, the aggregate class rate otherwise.
+func (s *Sim) rateOf(t *Transfer) float64 {
+	if t.member {
+		return t.Flow.memberRate
+	}
+	return t.Flow.rate
 }
 
 // removeActive drops t from the ordered active list.
@@ -164,7 +245,7 @@ func (s *Sim) Sync() {
 	}
 	if dt > 0 {
 		for _, t := range s.active {
-			moved := t.Flow.rate * dt
+			moved := s.rateOf(t) * dt
 			t.transferred += moved
 			if !math.IsInf(t.Remaining, 1) {
 				t.Remaining -= moved
@@ -266,6 +347,16 @@ func (s *Sim) Refresh() {
 	s.reschedule()
 }
 
+// Reschedule accrues progress, propagates pending parameter writes (demands,
+// weights, member counts, capacities — anything the incremental dirty scan
+// can see) and re-arms the next completion event. Unlike Refresh it does not
+// invalidate the network, so batched fair-share weight updates resolve
+// through the bottleneck-subgraph path instead of a full solve.
+func (s *Sim) Reschedule() {
+	s.Sync()
+	s.reschedule()
+}
+
 // reschedule re-solves rates (when something actually changed — see
 // Network.Resolve) and schedules the next completion event. Callers must
 // Sync first.
@@ -280,7 +371,7 @@ func (s *Sim) reschedule() {
 		if math.IsInf(t.Remaining, 1) {
 			continue
 		}
-		r := t.Flow.rate
+		r := s.rateOf(t)
 		if r <= 0 {
 			continue // stalled; a future topology change will wake it
 		}
@@ -315,10 +406,11 @@ func (s *Sim) complete() {
 		var nearest *Transfer
 		best := math.Inf(1)
 		for _, t := range s.active {
-			if math.IsInf(t.Remaining, 1) || t.Flow.rate <= 0 {
+			r := s.rateOf(t)
+			if math.IsInf(t.Remaining, 1) || r <= 0 {
 				continue
 			}
-			if eta := t.Remaining / t.Flow.rate; eta < best {
+			if eta := t.Remaining / r; eta < best {
 				best = eta
 				nearest = t
 			}
@@ -335,7 +427,7 @@ func (s *Sim) complete() {
 		t.active = false
 		t.finished = s.Engine.Now()
 		s.removeActive(t)
-		s.Network.RemoveFlow(t.Flow)
+		s.detach(t)
 		s.Engine.Tracef("fluid", "complete %s transferred=%g", t.Flow.Name, t.transferred)
 	}
 	s.reschedule()

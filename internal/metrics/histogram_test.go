@@ -227,3 +227,30 @@ func TestHistogramMergeEmpty(t *testing.T) {
 		t.Fatal("merging into empty lost the sample")
 	}
 }
+
+// TestHistogramQuantileBoundaryCumulative pins the cumulative-walk rounding
+// at exact rank boundaries: with an even split across two well-separated
+// buckets, the median rank ⌈q·n⌉ falls in the LOWER bucket — an off-by-one
+// in the target (floor instead of ceil, or a strict > comparison) would
+// report the upper bucket. Verified correct; this keeps it that way.
+func TestHistogramQuantileBoundaryCumulative(t *testing.T) {
+	h := NewHistogram(1e-3)
+	h.Observe(0.010)
+	h.Observe(3.000)
+	if got := h.Quantile(0.5); got >= 1.0 || got < 0.010 {
+		t.Fatalf("two-sample median = %v, want the lower sample's bucket", got)
+	}
+	h2 := NewHistogram(1e-3)
+	for _, v := range []float64{0.010, 0.010, 3.000, 3.000} {
+		h2.Observe(v)
+	}
+	if got := h2.Quantile(0.5); got >= 1.0 {
+		t.Fatalf("even-split median = %v, want the lower bucket", got)
+	}
+	if got := h2.Quantile(0.75); got < 1.0 {
+		t.Fatalf("even-split p75 = %v, want the upper bucket", got)
+	}
+	if got := h2.Quantile(0.5); got < h2.Min() || got > h2.Max() {
+		t.Fatalf("median %v escaped the observed range", got)
+	}
+}

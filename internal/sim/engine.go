@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Time is a point in virtual time, in seconds since the start of the
@@ -51,10 +52,13 @@ type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
-	index  int // heap index, -1 once removed
+	index  int // heap index; -1 once removed, -2 while parked in the wheel
 	fired  bool
 	cancel bool
 }
+
+// wheelIndex marks an event stored in a timer-wheel slot instead of the heap.
+const wheelIndex = -2
 
 // Time reports when the event is (or was) due to fire.
 func (e *Event) Time() Time { return e.at }
@@ -124,6 +128,28 @@ type Engine struct {
 	// once cancelled events dominate it.
 	cancelled int
 	legacy    bool
+
+	// Timer wheel (EnableTimerWheel): near-future events — heartbeat,
+	// probe and sampler ticks at cluster scale — go into fixed-width ring
+	// slots with O(1) insert and cancel; the heap keeps only events beyond
+	// the wheel horizon. Slot wheelCur covers [wheelBase, wheelBase+slotW).
+	wheel         []wheelSlot
+	slotW         Duration
+	wheelBase     Time
+	wheelCur      int
+	wheelLive     int      // parked events that are not cancelled
+	wheelCount    int      // parked events including stale cancellations
+	occ           []uint64 // per-slot occupancy bitmap, for sparse scans
+	wheelPeekSlot int      // slot of the event the last peek returned
+}
+
+// wheelSlot is one ring bucket. evs[head:] holds the undrained events; the
+// live region is sorted by (at, seq) lazily, on first read, so inserts stay
+// O(1). The backing array is reused after the slot drains.
+type wheelSlot struct {
+	evs    []*Event
+	head   int
+	sorted bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -174,7 +200,245 @@ func (e *Engine) Tracef(subsys, format string, args ...any) {
 
 // Pending returns the number of events still queued (excluding
 // lazily-cancelled ones awaiting compaction).
-func (e *Engine) Pending() int { return len(e.queue) - e.cancelled }
+func (e *Engine) Pending() int { return len(e.queue) - e.cancelled + e.wheelLive }
+
+// EnableTimerWheel routes events due within slot×slots of the current time
+// into a timer wheel (O(1) insert and cancel) instead of the heap, which
+// keeps only sparse far-future events. Firing order is unchanged: the wheel
+// and heap are merged by (time, sequence) on every pop, so an enabled wheel
+// is observationally identical to the plain heap. Under LegacyAlloc (and
+// once a wheel is already installed) this is a no-op, which gives the
+// benchmark harness a one-knob before/after comparison.
+func (e *Engine) EnableTimerWheel(slot Duration, slots int) {
+	if e.legacy || e.wheel != nil {
+		return
+	}
+	if slot <= 0 || slots < 2 {
+		panic(fmt.Sprintf("sim: invalid timer wheel geometry %v × %d", slot, slots))
+	}
+	e.wheel = make([]wheelSlot, slots)
+	e.occ = make([]uint64, (slots+63)/64)
+	e.slotW = slot
+	e.wheelBase = e.now
+	e.wheelCur = 0
+}
+
+// WheelEnabled reports whether a timer wheel is installed.
+func (e *Engine) WheelEnabled() bool { return e.wheel != nil }
+
+// advanceWheel rotates the wheel so the current slot's window contains the
+// clock. Passed slots are flushed: live events left behind by a Stop spill
+// to the heap (they fire at the then-current clock, preserving the RunUntil
+// contract), stale cancellations are reclaimed.
+func (e *Engine) advanceWheel() {
+	W := Time(e.slotW)
+	n := len(e.wheel)
+	if e.wheelCount == 0 {
+		// Empty wheel: snap the window to the clock in O(1), so a far
+		// jump in virtual time never walks slot by slot.
+		if e.now-e.wheelBase >= W {
+			e.wheelBase = e.now
+		}
+		return
+	}
+	if e.now-e.wheelBase >= W*Time(n) {
+		// The whole horizon is in the past; one sweep bounds the work.
+		for si := range e.wheel {
+			e.flushSlot(si)
+		}
+		e.wheelBase = e.now
+		return
+	}
+	for e.wheelBase+W <= e.now {
+		e.flushSlot(e.wheelCur)
+		e.wheelCur++
+		if e.wheelCur == n {
+			e.wheelCur = 0
+		}
+		e.wheelBase += W
+		if e.wheelCount == 0 {
+			if e.now-e.wheelBase >= W {
+				e.wheelBase = e.now
+			}
+			return
+		}
+	}
+}
+
+// flushSlot empties a slot whose window has passed.
+func (e *Engine) flushSlot(si int) {
+	s := &e.wheel[si]
+	for j := s.head; j < len(s.evs); j++ {
+		ev := s.evs[j]
+		s.evs[j] = nil
+		e.wheelCount--
+		if ev.cancel {
+			ev.index = -1
+			e.recycle(ev)
+			continue
+		}
+		e.wheelLive--
+		heap.Push(&e.queue, ev)
+	}
+	s.evs = s.evs[:0]
+	s.head = 0
+	s.sorted = true
+	e.occ[si>>6] &^= 1 << (uint(si) & 63)
+}
+
+// nextOccupied returns the first slot index in [lo, hi) with its occupancy
+// bit set, or -1. Word-at-a-time, so sparse wheels scan fast.
+func (e *Engine) nextOccupied(lo, hi int) int {
+	if lo >= hi {
+		return -1
+	}
+	for w := lo >> 6; w<<6 < hi; w++ {
+		word := e.occ[w]
+		if base := w << 6; base < lo {
+			word &= ^uint64(0) << (uint(lo - base))
+		}
+		if word == 0 {
+			continue
+		}
+		i := w<<6 + bits.TrailingZeros64(word)
+		if i >= hi {
+			return -1
+		}
+		return i
+	}
+	return -1
+}
+
+// sortSlot orders the live region by (at, seq). Insertion sort: slots hold
+// a handful of events and the sort must not allocate.
+func sortSlot(s *wheelSlot) {
+	evs := s.evs[s.head:]
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		j := i
+		for j > 0 && (evs[j-1].at > ev.at || (evs[j-1].at == ev.at && evs[j-1].seq > ev.seq)) {
+			evs[j] = evs[j-1]
+			j--
+		}
+		evs[j] = ev
+	}
+	s.sorted = true
+}
+
+// slotHead returns the earliest live event in slot si, reclaiming stale
+// cancellations in passing; nil once the slot drains (its bit is cleared).
+func (e *Engine) slotHead(si int) *Event {
+	s := &e.wheel[si]
+	for s.head < len(s.evs) {
+		if !s.sorted {
+			sortSlot(s)
+		}
+		ev := s.evs[s.head]
+		if !ev.cancel {
+			return ev
+		}
+		s.evs[s.head] = nil
+		s.head++
+		e.wheelCount--
+		ev.index = -1
+		e.recycle(ev)
+	}
+	s.evs = s.evs[:0]
+	s.head = 0
+	s.sorted = true
+	e.occ[si>>6] &^= 1 << (uint(si) & 63)
+	return nil
+}
+
+// peekWheel returns the earliest live wheel event, or nil. Scanning slots
+// outward from wheelCur visits them in window (time) order, so the first
+// live head is the wheel's minimum.
+func (e *Engine) peekWheel() *Event {
+	if e.wheel == nil || e.wheelLive == 0 {
+		return nil
+	}
+	e.advanceWheel()
+	if e.wheelLive == 0 {
+		return nil
+	}
+	n := len(e.wheel)
+	for pass := 0; pass < 2; pass++ {
+		lo, hi := e.wheelCur, n
+		if pass == 1 {
+			lo, hi = 0, e.wheelCur
+		}
+		for si := e.nextOccupied(lo, hi); si >= 0; si = e.nextOccupied(si+1, hi) {
+			if ev := e.slotHead(si); ev != nil {
+				e.wheelPeekSlot = si
+				return ev
+			}
+		}
+	}
+	return nil
+}
+
+// peek returns the earliest live event across the heap and the wheel
+// without removing it, pruning cancelled entries from both structures.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 && e.queue[0].cancel {
+		ev := heap.Pop(&e.queue).(*Event)
+		e.cancelled--
+		e.recycle(ev)
+	}
+	var hv *Event
+	if len(e.queue) > 0 {
+		hv = e.queue[0]
+	}
+	wv := e.peekWheel()
+	if wv == nil {
+		return hv
+	}
+	if hv == nil {
+		return wv
+	}
+	if wv.at < hv.at || (wv.at == hv.at && wv.seq < hv.seq) {
+		return wv
+	}
+	return hv
+}
+
+// take removes the event peek just returned from its structure.
+func (e *Engine) take(ev *Event) {
+	if ev.index == wheelIndex {
+		si := e.wheelPeekSlot
+		s := &e.wheel[si]
+		if s.head >= len(s.evs) || s.evs[s.head] != ev {
+			panic("sim: timer wheel out of sync")
+		}
+		s.evs[s.head] = nil
+		s.head++
+		e.wheelCount--
+		e.wheelLive--
+		ev.index = -1
+		if s.head == len(s.evs) {
+			s.evs = s.evs[:0]
+			s.head = 0
+			s.sorted = true
+			e.occ[si>>6] &^= 1 << (uint(si) & 63)
+		}
+		return
+	}
+	heap.Pop(&e.queue)
+}
+
+// fire runs a popped event's callback, advancing the clock to its time.
+func (e *Engine) fire(ev *Event) {
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	ev.fired = true
+	e.Processed++
+	ev.fn()
+	// Recycle only after the callback returns: while it runs, the fired
+	// flag keeps a self-Cancel harmless, and no new Schedule can reuse the
+	// struct out from under a holder.
+	e.recycle(ev)
+}
 
 // Schedule queues fn to run after delay. A negative delay is an error in the
 // caller; Schedule panics to surface the bug immediately.
@@ -195,6 +459,26 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic("sim: nil event callback")
 	}
 	ev := e.alloc(t, fn)
+	if e.wheel != nil {
+		e.advanceWheel()
+		if off := t - e.wheelBase; off < Time(e.slotW)*Time(len(e.wheel)) {
+			idx := int(off / Time(e.slotW))
+			if idx < len(e.wheel) { // guard against float rounding at the horizon
+				si := e.wheelCur + idx
+				if n := len(e.wheel); si >= n {
+					si -= n
+				}
+				s := &e.wheel[si]
+				s.evs = append(s.evs, ev)
+				s.sorted = len(s.evs)-s.head <= 1
+				e.occ[si>>6] |= 1 << (uint(si) & 63)
+				ev.index = wheelIndex
+				e.wheelLive++
+				e.wheelCount++
+				return ev
+			}
+		}
+	}
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -208,6 +492,10 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.cancel = true
+	if ev.index == wheelIndex {
+		e.wheelLive-- // lazy: the slot entry is reclaimed when scanned over
+		return
+	}
 	if ev.index < 0 {
 		return
 	}
@@ -220,10 +508,16 @@ func (e *Engine) Cancel(ev *Event) {
 }
 
 // maybeCompact rebuilds the heap without cancelled events once they hold
-// the majority of its slots, bounding queue growth under heavy
-// schedule/cancel churn (watchdog resets, credit-loop timers).
+// the majority of its slots — or all of them, however few: a queue that is
+// 100% cancelled is dead weight whatever its size, and leaving it uncompacted
+// would let Pending()==0 idle loops spin over it forever. Bounds queue
+// growth under heavy schedule/cancel churn (watchdog resets, credit-loop
+// timers).
 func (e *Engine) maybeCompact() {
-	if e.cancelled <= 64 || e.cancelled*2 <= len(e.queue) {
+	if e.cancelled == 0 {
+		return
+	}
+	if e.cancelled < len(e.queue) && (e.cancelled <= 64 || e.cancelled*2 <= len(e.queue)) {
 		return
 	}
 	kept := e.queue[:0]
@@ -246,31 +540,19 @@ func (e *Engine) maybeCompact() {
 	e.cancelled = 0
 }
 
-// Step fires the earliest pending event and advances the clock to its time.
-// It reports false when the queue is empty. An event left behind by a
-// stopped RunUntil (see Stop) can be due in the past; the clock never
-// moves backwards — such events fire at the current time.
+// Step fires the earliest pending event — across the heap and the timer
+// wheel — and advances the clock to its time. It reports false when nothing
+// is pending. An event left behind by a stopped RunUntil (see Stop) can be
+// due in the past; the clock never moves backwards — such events fire at
+// the current time.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			e.cancelled--
-			e.recycle(ev)
-			continue
-		}
-		if ev.at > e.now {
-			e.now = ev.at
-		}
-		ev.fired = true
-		e.Processed++
-		ev.fn()
-		// Recycle only after the callback returns: while it runs, the
-		// fired flag keeps a self-Cancel harmless, and no new Schedule
-		// can reuse the struct out from under a holder.
-		e.recycle(ev)
-		return true
+	ev := e.peek()
+	if ev == nil {
+		return false
 	}
-	return false
+	e.take(ev)
+	e.fire(ev)
+	return true
 }
 
 // Run processes events until the queue is empty.
@@ -278,6 +560,7 @@ func (e *Engine) Run() {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
+	e.drainCompact()
 }
 
 // RunUntil processes events with time ≤ t, then advances the clock to t.
@@ -291,24 +574,26 @@ func (e *Engine) RunUntil(t Time) {
 	}
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
+		ev := e.peek()
+		if ev == nil || ev.at > t {
 			break
 		}
-		// Peek.
-		next := e.queue[0]
-		if next.cancel {
-			heap.Pop(&e.queue)
-			e.cancelled--
-			e.recycle(next)
-			continue
-		}
-		if next.at > t {
-			break
-		}
-		e.Step()
+		e.take(ev)
+		e.fire(ev)
 	}
 	if t > e.now {
 		e.now = t
+	}
+	e.drainCompact()
+}
+
+// drainCompact reclaims a queue that drained down to nothing but stale
+// cancellations when a run loop hands control back, so the event structs
+// return to the free list even though no further Cancel will arrive to
+// trigger the threshold sweep.
+func (e *Engine) drainCompact() {
+	if e.cancelled > 0 && e.cancelled == len(e.queue) {
+		e.maybeCompact()
 	}
 }
 
