@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke cluster-smoke chaos-smoke bench-pr6
+.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke cluster-smoke chaos-smoke gray-smoke bench-pr6
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,22 @@ chaos-smoke:
 	$(GO) test -race -run 'Chaos|Lease|Crash|Partition|GivesUp|LeaderKill' ./internal/cluster ./internal/faults
 	$(GO) run ./cmd/xfersched -cluster -hosts 100 -shards 8 -ctenants 400 -cjobs 1200 -drop 2 -seed 7 \
 		-kill-host 7@8+8 -kill-ctrl 0@15 -partition 5,6,7@20+6 -replay-check
+
+# Gray-failure gate: the gray/hedge/shed suites under the race detector,
+# then the full S7 experiment — its acceptance checks (detection fires on a
+# sagging rail, hedged goodput ≥90% of healthy while the no-mitigation
+# ablation collapses ≤60%, bounded detection latency, bit-identical replay)
+# panic on violation — and finally two CLI drives: a single-pair sag with
+# hedging (exits non-zero unless every job delivers) and a cluster host
+# limp under the shed valve with the replay-hash check (CI runs this).
+gray-smoke:
+	$(GO) test -race -run 'Gray|Hedge|Suspect|Shed|Limp|Window|Validate' \
+		./internal/faults ./internal/railmgr ./internal/rftp \
+		./internal/metrics ./internal/xfersched ./internal/cluster
+	$(GO) run ./cmd/e2ebench -run S7
+	$(GO) run ./cmd/xfersched -jobs 10 -seed 3 -gridftp 0 -gray roce1@2:0.7 -hedge
+	$(GO) run ./cmd/xfersched -cluster -hosts 16 -shards 2 -ctenants 32 -cjobs 120 \
+		-gray 3@8+6:0.95 -shed -replay-check
 
 # Full S5 scaling sweep (100/300/1000 hosts, each run twice) → BENCH_PR6.json.
 # Takes several minutes; not part of CI.

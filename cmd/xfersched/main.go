@@ -14,6 +14,8 @@
 //	xfersched -recover=false             # disable in-protocol recovery
 //	xfersched -rails -kill-rail roce1@5  # rail mgmt on; roce1 dies for good at t=5s
 //	xfersched -corrupt 3 -checksum       # 3 seeded silent bit flips, caught end to end
+//	xfersched -gray roce1@5:0.7          # roce1 silently sags to 30% at t=5s; outlier scorer armed
+//	xfersched -gray roce1@5:0.7 -hedge   # …and hedged windows race the sick rail's tail
 //	xfersched -trace jobs.txt            # replay a job trace file
 //	xfersched -concurrent 8 -streams 12  # admission and stream budgets
 //	xfersched -seed 7 -md -v             # reseed, markdown, per-job table
@@ -30,6 +32,7 @@
 // each virtual-time-stamped so the chaos timeline replays bit-identically:
 //
 //	xfersched -cluster -hosts 100 -kill-host 7@8+8       # host 7 dark 8s..16s
+//	xfersched -cluster -gray 3@8+6:0.95 -shed            # host 3 limps to 5% 8s..14s; scorer + shed valve armed
 //	xfersched -cluster -kill-ctrl 0@15                   # leader controller dies at 15s
 //	xfersched -cluster -partition 5,6,7@20+6             # shards 5-7 severed 20s..26s
 //	xfersched -cluster -kill-spine 1@10+5 -replay-check  # spine 1 dark 10s..15s
@@ -54,6 +57,7 @@ import (
 	"e2edt/internal/fluid"
 	"e2edt/internal/metrics"
 	"e2edt/internal/railmgr"
+	"e2edt/internal/rftp"
 	"e2edt/internal/sim"
 	"e2edt/internal/units"
 	"e2edt/internal/xfersched"
@@ -80,6 +84,9 @@ func main() {
 	recover := flag.Bool("recover", true, "enable in-protocol recovery (RDMA/RFTP/iSER); the watchdog stays as second line of defense")
 	rails := flag.Bool("rails", false, "enable rail health management: failover, credit rebalance and failback (requires -recover)")
 	killRail := flag.String("kill-rail", "", "permanently kill a front rail, as name@seconds (e.g. roce1@5); implies -rails")
+	grayFlag := flag.String("gray", "", "gray failure: name@seconds:severity silently sags a front rail (e.g. roce1@5:0.7); cluster mode: id@seconds+window:severity limps a host's cores (e.g. 3@8+6:0.95). Arms the outlier scorer")
+	hedge := flag.Bool("hedge", false, "arm tail-tolerant hedged windows: lagging streams re-issue on the best trusted rail, first completion wins (implies -rails with gray detection)")
+	shed := flag.Bool("shed", false, "cluster mode: arm the gray host scorer and the admission shed valve (low-priority jobs held while a host is under a verdict)")
 	corrupt := flag.Int("corrupt", 0, "inject this many seeded silent bit flips across the front rails")
 	corruptSeed := flag.Int64("corruptseed", 7, "corruption-schedule PRNG seed")
 	checksum := flag.Bool("checksum", false, "enable RFTP end-to-end block checksums (the only layer that catches silent corruption)")
@@ -103,14 +110,21 @@ func main() {
 	flag.Parse()
 
 	if *clusterMode {
+		if *hedge {
+			fatal(fmt.Errorf("-hedge is a single-pair flag: cluster transfers hedge at the host level via -shed"))
+		}
 		runCluster(clusterFlags{
 			hosts: *hosts, shards: *shards, drop: *drop, topology: *topology,
 			tenants: *ctenants, jobs: *cjobs, seed: *seed,
 			replayCheck: *replayCheck, md: *md,
 			killHost: *killHost, killCtrl: *killCtrl,
 			killSpine: *killSpine, partition: *partition,
+			gray: *grayFlag, shed: *shed,
 		})
 		return
+	}
+	if *shed {
+		fatal(fmt.Errorf("-shed is a cluster-mode flag: admission shedding needs the sharded control plane (add -cluster)"))
 	}
 
 	minB, err := units.ParseBlockSize(*minSize)
@@ -131,7 +145,7 @@ func main() {
 	if *recover {
 		opt.Recovery = core.DefaultRecoveryOptions()
 	}
-	if *killRail != "" {
+	if *killRail != "" || *grayFlag != "" || *hedge {
 		*rails = true
 	}
 	if *rails {
@@ -139,6 +153,11 @@ func main() {
 			fatal(fmt.Errorf("-rails and -kill-rail need in-protocol recovery; drop -recover=false"))
 		}
 		opt.Recovery.Rails = railmgr.DefaultPolicy()
+	}
+	if *grayFlag != "" || *hedge {
+		// Gray injection is silent: only the peer-comparison scorer (and,
+		// with -hedge, the adaptive deadline) can react to it.
+		opt.Recovery.Rails.Gray = railmgr.DefaultGrayPolicy()
 	}
 	sys, err := core.NewSystem(opt)
 	if err != nil {
@@ -148,6 +167,9 @@ func main() {
 	cfg.MaxConcurrent = *concurrent
 	cfg.StreamBudget = *streams
 	cfg.RFTP.Checksum = *checksum
+	if *hedge {
+		cfg.RFTPParams.Hedge = rftp.DefaultHedgePolicy()
+	}
 	s, err := xfersched.New(sys, cfg)
 	if err != nil {
 		fatal(err)
@@ -185,11 +207,18 @@ func main() {
 		plan.FailWindow(sys.TB.FrontLinks[0], sim.Time(*failAt), sim.Duration(*failFor))
 	}
 	if *killRail != "" {
-		link, at, err := parseKillRail(*killRail, sys.TB.FrontLinks)
+		link, at, err := parseRailAt("-kill-rail", *killRail, sys.TB.FrontLinks)
 		if err != nil {
 			fatal(err)
 		}
 		plan.PermanentFail(link, at)
+	}
+	if *grayFlag != "" {
+		link, at, severity, err := parseGrayRail(*grayFlag, sys.TB.FrontLinks)
+		if err != nil {
+			fatal(err)
+		}
+		plan.SlowRail(link, at, severity)
 	}
 	if *corrupt > 0 {
 		rng := rand.New(rand.NewSource(*corruptSeed))
@@ -198,6 +227,12 @@ func main() {
 			at := sim.Time(0.2 + rng.Float64()*2)
 			plan.Corrupt(link, at)
 		}
+	}
+	// Reject a contradictory flag-built schedule (e.g. a gray sag scheduled
+	// inside a -fail outage window) with the validator's own error text
+	// before anything runs.
+	if err := plan.Validate(); err != nil {
+		fatal(err)
 	}
 	if *chaos > 0 {
 		chaosPlan := faults.Chaos(faults.ChaosConfig{
@@ -240,6 +275,9 @@ func main() {
 
 	r := s.Report()
 	tables := []*metrics.Table{r.SummaryTable(), r.TenantTable()}
+	if gt := r.GrayTable(); gt != nil {
+		tables = append(tables, gt)
+	}
 	if *verbose {
 		tables = append(tables, s.JobTable())
 	}
@@ -267,6 +305,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xfersched: virtual-time budget %.0fs exhausted with jobs unfinished\n", *limit)
 		os.Exit(1)
 	}
+	// A gray run is audited like the cluster chaos runs: the silent sag must
+	// cost performance, never deliveries.
+	if *grayFlag != "" || *hedge {
+		if r.Lost > 0 {
+			fmt.Fprintf(os.Stderr, "xfersched: delivery audit FAILED: gray run lost %d jobs\n", r.Lost)
+			os.Exit(1)
+		}
+		fmt.Println("delivery audit: OK (every job completed despite the gray schedule)")
+	}
 }
 
 // clusterFlags carries the cluster-mode CLI knobs.
@@ -280,6 +327,12 @@ type clusterFlags struct {
 	md            bool
 
 	killHost, killCtrl, killSpine, partition string
+
+	// gray limps a host (id@seconds+window:severity); shed arms the host
+	// scorer and the admission shed valve. A gray limp arms the scorer too
+	// — an undetectable injection tests nothing.
+	gray string
+	shed bool
 }
 
 // runCluster drives the sharded-control-plane fabric scenario and prints
@@ -317,6 +370,7 @@ func runCluster(f clusterFlags) {
 		Topology: f.topology,
 		Seed:     f.seed,
 		Chaos:    chaos,
+		Gray:     f.gray != "" || f.shed,
 	}
 	res := experiments.RunClusterPoint(spec)
 	// Echo the schedule and topology the run used, in the -chaos/-rails
@@ -337,6 +391,13 @@ func runCluster(f clusterFlags) {
 		for _, k := range chaos.SpineKills {
 			fmt.Printf("chaos: spine %d dark at %.1fs (down %.1fs; 0 = forever)\n", k.Spine, float64(k.At), float64(k.Down))
 		}
+		for _, l := range chaos.Limps {
+			fmt.Printf("gray: host %d limps to %.0f%% core speed at %.1fs for %.1fs (heartbeats stay alive)\n",
+				l.Host, l.Factor*100, float64(l.At), float64(l.For))
+		}
+	}
+	if spec.Gray {
+		fmt.Println("gray: host outlier scorer and admission shed valve armed")
 	}
 	tb := res.Report.Table()
 	if f.md {
@@ -368,10 +429,33 @@ func runCluster(f clusterFlags) {
 
 // parseChaos assembles the cluster-mode fault timeline from the CLI knobs.
 func parseChaos(f clusterFlags) (*experiments.ChaosSpec, error) {
-	if f.killHost == "" && f.killCtrl == "" && f.killSpine == "" && f.partition == "" {
+	if f.killHost == "" && f.killCtrl == "" && f.killSpine == "" && f.partition == "" && f.gray == "" {
 		return nil, nil
 	}
 	spec := &experiments.ChaosSpec{}
+	if f.gray != "" {
+		limpStr, sevStr, found := strings.Cut(f.gray, ":")
+		if !found {
+			return nil, fmt.Errorf("bad -gray %q: cluster mode wants id@seconds+window:severity, e.g. 3@8+6:0.95", f.gray)
+		}
+		id, at, down, err := parseAtDown("-gray", limpStr)
+		if err != nil {
+			return nil, err
+		}
+		if down == 0 {
+			return nil, fmt.Errorf("bad -gray %q: a limp needs a recovery window, e.g. 3@8+6:0.95", f.gray)
+		}
+		if id >= f.hosts {
+			return nil, fmt.Errorf("-gray %d: the run has hosts 0..%d", id, f.hosts-1)
+		}
+		sev, err := strconv.ParseFloat(sevStr, 64)
+		if err != nil || sev <= 0 || sev >= 1 {
+			return nil, fmt.Errorf("bad -gray severity %q: want a fraction in (0, 1) — the host must limp, not die", sevStr)
+		}
+		spec.Limps = append(spec.Limps, experiments.LimpSpec{
+			Host: id, At: at, For: down, Factor: 1 - sev,
+		})
+	}
 	if f.killHost != "" {
 		id, at, down, err := parseAtDown("-kill-host", f.killHost)
 		if err != nil {
@@ -431,6 +515,11 @@ func parseChaos(f clusterFlags) (*experiments.ChaosSpec, error) {
 			Shards: ids, At: sim.Time(at), For: sim.Duration(dur),
 		})
 	}
+	// Reject contradictory timelines (a crash-stop inside a limp window,
+	// overlapping outages) with the validator's own error text.
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	return spec, nil
 }
 
@@ -480,16 +569,16 @@ func utilzTable(us []fluid.ResourceUtil) *metrics.Table {
 	return t
 }
 
-// parseKillRail reads "name@seconds" (e.g. "roce1@5") and resolves the
+// parseRailAt reads "name@seconds" (e.g. "roce1@5") and resolves the
 // named link among the front rails.
-func parseKillRail(s string, links []*fabric.Link) (*fabric.Link, sim.Time, error) {
+func parseRailAt(flagName, s string, links []*fabric.Link) (*fabric.Link, sim.Time, error) {
 	name, atStr, found := strings.Cut(s, "@")
 	if !found {
-		return nil, 0, fmt.Errorf("bad -kill-rail %q: want name@seconds, e.g. roce1@5", s)
+		return nil, 0, fmt.Errorf("bad %s %q: want name@seconds, e.g. roce1@5", flagName, s)
 	}
 	at, err := strconv.ParseFloat(atStr, 64)
 	if err != nil || at <= 0 {
-		return nil, 0, fmt.Errorf("bad -kill-rail time %q: want a positive virtual second", atStr)
+		return nil, 0, fmt.Errorf("bad %s time %q: want a positive virtual second", flagName, atStr)
 	}
 	var names []string
 	for _, l := range links {
@@ -498,8 +587,26 @@ func parseKillRail(s string, links []*fabric.Link) (*fabric.Link, sim.Time, erro
 		}
 		names = append(names, l.Cfg.Name)
 	}
-	return nil, 0, fmt.Errorf("-kill-rail: no front rail named %q (have %s)",
-		name, strings.Join(names, ", "))
+	return nil, 0, fmt.Errorf("%s: no front rail named %q (have %s)",
+		flagName, name, strings.Join(names, ", "))
+}
+
+// parseGrayRail reads "name@seconds:severity" (e.g. "roce1@5:0.7") and
+// resolves the named link among the front rails.
+func parseGrayRail(s string, links []*fabric.Link) (*fabric.Link, sim.Time, float64, error) {
+	spec, sevStr, found := strings.Cut(s, ":")
+	if !found {
+		return nil, 0, 0, fmt.Errorf("bad -gray %q: want name@seconds:severity, e.g. roce1@5:0.7", s)
+	}
+	link, at, err := parseRailAt("-gray", spec, links)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sev, err := strconv.ParseFloat(sevStr, 64)
+	if err != nil || sev <= 0 || sev >= 1 {
+		return nil, 0, 0, fmt.Errorf("bad -gray severity %q: want a fraction in (0, 1) — the sag must be partial, or it is not gray", sevStr)
+	}
+	return link, at, sev, nil
 }
 
 // parseTenants reads "name:weight,name:weight" (weight defaults to 1).

@@ -113,6 +113,10 @@ type Config struct {
 	// a permanent crash cannot wedge the run (default 30).
 	GiveUpAfter sim.Duration
 
+	// Gray arms the host outlier scorer and the admission shed valve for
+	// limping-but-alive hosts. Zero value: fully inert.
+	Gray GrayConfig
+
 	// Seed drives workload generation and RPC drops.
 	Seed int64
 }
@@ -140,6 +144,11 @@ func (c Config) Validate() error {
 	if c.MissedBeats < 0 {
 		return fmt.Errorf("cluster: MissedBeats must not be negative, got %d", c.MissedBeats)
 	}
+	if c.Gray.Enabled && c.Gray.SuspectBelow > 0 && c.Gray.ClearAbove > 0 &&
+		c.Gray.SuspectBelow >= c.Gray.ClearAbove {
+		return fmt.Errorf("cluster: Gray.SuspectBelow (%g) must sit below Gray.ClearAbove (%g) — the gap is the hysteresis band",
+			c.Gray.SuspectBelow, c.Gray.ClearAbove)
+	}
 	for _, d := range []struct {
 		name string
 		v    sim.Duration
@@ -149,6 +158,7 @@ func (c Config) Validate() error {
 		{"ReconcileEvery", c.ReconcileEvery}, {"HeartbeatEvery", c.HeartbeatEvery},
 		{"LeaseEvery", c.LeaseEvery}, {"LeaseTimeout", c.LeaseTimeout},
 		{"ElectStagger", c.ElectStagger}, {"GiveUpAfter", c.GiveUpAfter},
+		{"Gray.Every", c.Gray.Every},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("cluster: %s must not be negative, got %g", d.name, float64(d.v))
@@ -246,6 +256,9 @@ func (c *Config) SetDefaults() {
 	if c.GiveUpAfter <= 0 {
 		c.GiveUpAfter = 30
 	}
+	if c.Gray.Enabled {
+		c.Gray = c.Gray.withDefaults()
+	}
 }
 
 // hostNode is one simulated endpoint: a NUMA host, its pooled worker
@@ -310,6 +323,9 @@ type job struct {
 	// A source crash preserves it (resume-from-acked-offset); a destination
 	// crash zeroes it (the staging memory died with the host).
 	ckpt float64
+	// shed marks that the gray valve held this job at least once, so the
+	// Shed tally counts jobs, not admission passes.
+	shed bool
 }
 
 // Cluster is the assembled simulation: hosts on a fabric plus the sharded
@@ -359,6 +375,20 @@ type Cluster struct {
 	partitioned bool
 	partSide    []bool // per-shard partition side (true = severed group)
 
+	// Gray-health state. limp is physical truth (the current core-speed
+	// factor, 1 = nominal); hostSuspect is the scorer's statistical view.
+	// The rate arrays are allocated only when Cfg.Gray.Enabled.
+	limp         []float64
+	hostRate     []*metrics.EWMA
+	hostRatio    []float64
+	hostProg     []float64
+	hostBreach   []int
+	hostClear    []int
+	hostSuspect  []bool
+	shedding     bool
+	firstHostSus sim.Time
+	grayT        *sim.Ticker
+
 	// Control-plane tallies (ints, not instruments: they feed the report).
 	CtrlDrops   int
 	CtrlResends int
@@ -382,6 +412,12 @@ type Cluster struct {
 	DegradedOut   int // degraded-mode exits
 	PartDrops     int // control messages severed by a partition
 	CtrlFailCount int // controller crash-stops
+
+	// Gray-plane tallies.
+	HostLimps    int // limp-mode entries (LimpHost with factor < 1)
+	HostSuspects int // scorer suspect verdicts
+	HostClears   int // scorer exonerations
+	Shed         int // jobs held at least once by the shed valve
 
 	// Locality outcome histogram (index localitySame..localityCore).
 	Locality [4]int
@@ -469,6 +505,23 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		c.crashedAt[h] = -1
 	}
 	c.partSide = make([]bool, cfg.Shards)
+	c.limp = make([]float64, cfg.Hosts)
+	c.hostSuspect = make([]bool, cfg.Hosts)
+	c.hostRatio = make([]float64, cfg.Hosts)
+	c.firstHostSus = -1
+	for h := 0; h < cfg.Hosts; h++ {
+		c.limp[h] = 1
+		c.hostRatio[h] = 1
+	}
+	if cfg.Gray.Enabled {
+		c.hostRate = make([]*metrics.EWMA, cfg.Hosts)
+		c.hostProg = make([]float64, cfg.Hosts)
+		c.hostBreach = make([]int, cfg.Hosts)
+		c.hostClear = make([]int, cfg.Hosts)
+		for h := 0; h < cfg.Hosts; h++ {
+			c.hostRate[h] = metrics.NewEWMA(cfg.Gray.Decay)
+		}
+	}
 	// A dead switch trunk strands the flows routed over it; re-route them
 	// as the ECMP tables reconverge. Access-link failures are host crashes
 	// and go through the heartbeat detector instead.
@@ -828,6 +881,9 @@ func (c *Cluster) jobFinished() {
 		for _, sh := range c.shards {
 			sh.stop()
 		}
+		if c.grayT != nil {
+			c.grayT.Stop()
+		}
 		c.Eng.Tracef("cluster", "all jobs retired at %.6f", float64(c.Eng.Now()))
 	}
 }
@@ -837,6 +893,9 @@ func (c *Cluster) jobFinished() {
 func (c *Cluster) Run() {
 	for _, sh := range c.shards {
 		sh.startTickers()
+	}
+	if c.Cfg.Gray.Enabled {
+		c.grayT = c.Eng.NewTicker(c.Cfg.Gray.Every, func(now sim.Time) { c.scoreHosts(now) })
 	}
 	c.Eng.Run()
 	c.FSim.Sync()
@@ -850,6 +909,12 @@ func (c *Cluster) Run() {
 		c.HostFails, c.HostRestores, c.DeadDeclared, c.JobsRequeued, c.Reroutes,
 		c.VoidedJobs, c.Elections, c.Adoptions, c.StaleLeases, c.StaleAdjusts,
 		c.DegradedIn, c.DegradedOut, c.PartDrops)
+	// Gray-plane summary only when the plane could have acted: a legacy run
+	// must not gain a single trace byte.
+	if c.Cfg.Gray.Enabled || c.HostLimps > 0 {
+		c.Eng.Tracef("cluster", "final gray limps=%d suspects=%d clears=%d shed=%d",
+			c.HostLimps, c.HostSuspects, c.HostClears, c.Shed)
+	}
 }
 
 // Hosts returns the number of simulated hosts.

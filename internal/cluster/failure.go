@@ -71,6 +71,38 @@ func (c *Cluster) RestoreHost(id int) {
 	}
 }
 
+// LimpHost inflates host id's service time: every core runs at factor ×
+// speed (0 < factor ≤ 1; 1 restores nominal). The host stays alive —
+// links up, heartbeats flowing — so the binary death detector never fires;
+// only the gray scorer (when enabled) can notice the sag. Implements
+// faults.Sink.
+func (c *Cluster) LimpHost(id int, factor float64) {
+	if id < 0 || id >= len(c.hosts) {
+		panic(fmt.Sprintf("cluster: LimpHost(%d) out of range [0,%d)", id, len(c.hosts)))
+	}
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("cluster: LimpHost factor %v outside (0, 1]", factor))
+	}
+	if c.limp[id] == factor {
+		return
+	}
+	entering := c.limp[id] == 1
+	c.limp[id] = factor
+	if factor < 1 {
+		if entering {
+			c.HostLimps++
+		}
+		c.Eng.Tracef("cluster", "host %d limps: cores at %.1f%% speed", id, factor*100)
+	} else {
+		c.Eng.Tracef("cluster", "host %d limp clears", id)
+	}
+	for _, n := range c.hosts[id].h.M.Nodes {
+		for _, core := range n.Cores {
+			c.FSim.SetCapacity(core.Res, factor)
+		}
+	}
+}
+
 // FailController crash-stops shard controller k permanently: its tickers
 // die, its queue and running set are orphaned, and after a lease timeout
 // the next alive shard adopts its hosts and state. If k was the leader the

@@ -35,6 +35,10 @@ type Report struct {
 	DegradedIn, DegradedOut               int
 	PartDrops, CtrlFails                  int
 
+	// Gray-plane outcomes: limp-mode entries, scorer verdicts in each
+	// direction, and jobs held by the admission shed valve.
+	HostLimps, HostSuspects, HostClears, Shed int
+
 	// Locality outcomes: how many admitted jobs read a replica on the
 	// destination host / leaf / pod / across the core.
 	LocalSame, LocalLeaf, LocalPod, LocalCore int
@@ -76,6 +80,10 @@ func (c *Cluster) Report() Report {
 		DegradedOut:    c.DegradedOut,
 		PartDrops:      c.PartDrops,
 		CtrlFails:      c.CtrlFailCount,
+		HostLimps:      c.HostLimps,
+		HostSuspects:   c.HostSuspects,
+		HostClears:     c.HostClears,
+		Shed:           c.Shed,
 		LocalSame:      c.Locality[localitySame],
 		LocalLeaf:      c.Locality[localityLeaf],
 		LocalPod:       c.Locality[localityPod],
@@ -115,6 +123,11 @@ func (r Report) Table() *metrics.Table {
 		t.AddRow("stale leases / adjusts", fmt.Sprintf("%d / %d", r.StaleLeases, r.StaleAdjusts))
 		t.AddRow("degraded in / out", fmt.Sprintf("%d / %d", r.DegradedIn, r.DegradedOut))
 		t.AddRow("partition drops", fmt.Sprintf("%d", r.PartDrops))
+	}
+	if r.HostLimps+r.HostSuspects+r.Shed > 0 {
+		t.AddRow("host limps", fmt.Sprintf("%d", r.HostLimps))
+		t.AddRow("gray suspects / clears", fmt.Sprintf("%d / %d", r.HostSuspects, r.HostClears))
+		t.AddRow("jobs shed", fmt.Sprintf("%d", r.Shed))
 	}
 	t.AddRow("locality same/leaf/pod/core", fmt.Sprintf("%d / %d / %d / %d",
 		r.LocalSame, r.LocalLeaf, r.LocalPod, r.LocalCore))

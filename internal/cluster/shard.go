@@ -413,6 +413,11 @@ func (s *shard) pickSource(j *job) int {
 			continue
 		}
 		score := s.c.locality(r, j.dst)
+		if s.c.hostSuspect[r] {
+			// A limping replica is worse than any healthy locality tier:
+			// read from it only when nothing healthy holds the data.
+			score += localityCore + 1
+		}
 		if best == -1 || score < bestScore ||
 			(score == bestScore && (hn.srcActive < bestLoad ||
 				(hn.srcActive == bestLoad && r < best))) {
@@ -467,6 +472,10 @@ func (s *shard) admit() {
 	var touched []int
 	kept := s.queue[:0]
 	for _, j := range s.queue {
+		if s.shedHeld(j) {
+			kept = append(kept, j)
+			continue
+		}
 		if s.c.deadDeclared[j.dst] {
 			if s.hopeless(j) {
 				s.giveUp(j)

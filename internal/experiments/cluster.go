@@ -31,6 +31,10 @@ type ClusterRunSpec struct {
 
 	// Chaos, when non-nil, injects cluster-scale faults into the run.
 	Chaos *ChaosSpec
+
+	// Gray arms the host outlier scorer and the admission shed valve
+	// (cluster.GrayConfig defaults).
+	Gray bool
 }
 
 // ChaosSpec schedules cluster-scale faults: crash-stop hosts (optionally
@@ -42,6 +46,16 @@ type ChaosSpec struct {
 	CtrlKills  []CtrlKill
 	Partitions []PartitionSpec
 	SpineKills []SpineKill
+	Limps      []LimpSpec
+}
+
+// LimpSpec puts a host into gray limp mode at At — cores slowed to Factor
+// of nominal speed with heartbeats intact — recovering after For.
+type LimpSpec struct {
+	Host   int
+	At     sim.Time
+	For    sim.Duration
+	Factor float64
 }
 
 // HostKill crash-stops a host at At; Down > 0 cold-restarts it after that
@@ -74,6 +88,29 @@ type SpineKill struct {
 	Down  sim.Duration
 }
 
+// Validate rejects contradictory host-side chaos timelines — overlapping
+// outage or limp windows, or a crash-stop scheduled inside a limp window —
+// before a run silently resolves them last-writer-wins. Link-side events
+// (spine kills) target disjoint links per spine and are checked again when
+// the full plan is assembled.
+func (s *ChaosSpec) Validate() error {
+	plan := &faults.Plan{}
+	for _, k := range s.HostKills {
+		if k.Down > 0 {
+			plan.HostOutage(k.Host, k.At, k.Down)
+		} else {
+			plan.KillHost(k.Host, k.At)
+		}
+	}
+	for _, l := range s.Limps {
+		plan.LimpWindow(l.Host, l.At, l.For, l.Factor)
+	}
+	for _, p := range s.Partitions {
+		plan.PartitionWindow(p.Shards, p.At, p.For)
+	}
+	return plan.Validate()
+}
+
 // ClusterRunResult is one run's outcome: the cluster report plus the
 // replay digest and the wall-clock cost of simulating it.
 type ClusterRunResult struct {
@@ -103,6 +140,9 @@ func RunClusterPoint(spec ClusterRunSpec) ClusterRunResult {
 		Shards:  spec.Shards,
 		DropPct: spec.DropPct,
 		Seed:    spec.Seed,
+	}
+	if spec.Gray {
+		cfg.Gray = cluster.GrayConfig{Enabled: true}
 	}
 	if spec.Topology != "" {
 		kind, err := fabric.ParseTopoKind(spec.Topology)
@@ -137,6 +177,9 @@ func RunClusterPoint(spec ClusterRunSpec) ClusterRunResult {
 		for _, p := range spec.Chaos.Partitions {
 			plan.PartitionWindow(p.Shards, p.At, p.For)
 		}
+		for _, l := range spec.Chaos.Limps {
+			plan.LimpWindow(l.Host, l.At, l.For, l.Factor)
+		}
 		for _, k := range spec.Chaos.SpineKills {
 			for _, l := range c.Topo.SpineLinks(k.Spine) {
 				if k.Down > 0 {
@@ -145,6 +188,9 @@ func RunClusterPoint(spec ClusterRunSpec) ClusterRunResult {
 					plan.PermanentFail(l, k.At)
 				}
 			}
+		}
+		if err := plan.Validate(); err != nil {
+			panic(fmt.Sprintf("chaos plan: %v", err))
 		}
 		plan.ApplyTo(eng, c)
 	}

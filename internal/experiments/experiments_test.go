@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "A4", "A5", "A6", "E1", "E2", "F10", "F11", "F12", "F13", "F14", "F4", "F7", "F8", "F9", "S1", "S2", "S3", "S4", "S5", "S6", "T1"}
+	want := []string{"A1", "A2", "A3", "A4", "A5", "A6", "E1", "E2", "F10", "F11", "F12", "F13", "F14", "F4", "F7", "F8", "F9", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "T1"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v, want %v", got, want)
@@ -386,6 +386,31 @@ func TestChaosRecoveryShape(t *testing.T) {
 		if row[3] != "0" || row[4] != "0B" {
 			t.Fatalf("degradation row retransmitted: %v", row)
 		}
+	}
+}
+
+func TestGrayFailureShape(t *testing.T) {
+	res := GrayFailure()
+	// The mitigation ladder at the 70%-sag point: each rung must recover
+	// goodput, ending ≥90% of healthy while no-mitigation sits ≤60%.
+	s := res.Series[0]
+	if s.Len() != 3 {
+		t.Fatalf("want 3 ladder points, got %d", s.Len())
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.Values[i] < s.Values[i-1]*0.99 {
+			t.Fatalf("mitigation ladder not monotone: %v", s.Values)
+		}
+	}
+	if s.Values[0] > 60 {
+		t.Fatalf("no-mitigation ablation too healthy: %v%% of baseline", s.Values[0])
+	}
+	if s.Values[2] < 90 {
+		t.Fatalf("hedged recovery below gate: %v%% of baseline", s.Values[2])
+	}
+	// Table: baseline row plus 3 severities × 3 modes.
+	if got := len(res.Tables[0].Rows); got != 10 {
+		t.Fatalf("want 10 sweep rows, got %d", got)
 	}
 }
 

@@ -114,10 +114,25 @@ type Link struct {
 	// degrade is the healthy-capacity multiplier set by Degrade; 1 means
 	// full rate. It survives Fail/Restore cycles so repair ends at the
 	// configured (possibly degraded) rate.
-	degrade  float64
-	watchers []func(Event)
+	degrade float64
+	// graySag is a hidden capacity multiplier (1 = none): a gray failure's
+	// rate sag injected below the link layer's visibility. Watchers are not
+	// notified and Fraction() does not report it — only end-to-end
+	// measurement can see a gray-sagged rail.
+	graySag float64
+	// latInflate scales the link's propagation delay (1 = nominal): a gray
+	// failure's latency inflation. Like graySag it is invisible to watchers.
+	latInflate float64
+	// lossEvery, when positive, silently drops every lossEvery-th control
+	// message: a sub-detection-threshold loss rate. Deterministic (a
+	// counter, not a coin), so replays are bit-identical.
+	lossEvery int
+	sends     int64
+	watchers  []func(Event)
 	// Drops counts control messages dropped because the link was dark.
 	Drops int64
+	// SilentDrops counts control messages eaten by injected silent loss.
+	SilentDrops int64
 }
 
 // Connect creates a link between a NIC on host ha (PCIe slot on node na) and
@@ -130,14 +145,16 @@ func Connect(s *fluid.Sim, cfg Config, ha *host.Host, na *numa.Node, hb *host.Ho
 		panic(fmt.Sprintf("fabric: link %s has negative RTT", cfg.Name))
 	}
 	l := &Link{
-		Cfg:     cfg,
-		A:       ha.NewDevice(cfg.Name+"/nicA", na),
-		B:       hb.NewDevice(cfg.Name+"/nicB", nb),
-		aToB:    s.AddResource(cfg.Name+"/a->b", cfg.Rate),
-		bToA:    s.AddResource(cfg.Name+"/b->a", cfg.Rate),
-		sim:     s,
-		eng:     s.Engine,
-		degrade: 1,
+		Cfg:        cfg,
+		A:          ha.NewDevice(cfg.Name+"/nicA", na),
+		B:          hb.NewDevice(cfg.Name+"/nicB", nb),
+		aToB:       s.AddResource(cfg.Name+"/a->b", cfg.Rate),
+		bToA:       s.AddResource(cfg.Name+"/b->a", cfg.Rate),
+		sim:        s,
+		eng:        s.Engine,
+		degrade:    1,
+		graySag:    1,
+		latInflate: 1,
 	}
 	return l
 }
@@ -177,14 +194,15 @@ func (l *Link) ChargeWire(f *fluid.Flow, from *host.Device, coeff float64, tag s
 	}
 }
 
-// OneWayDelay is half the configured RTT.
-func (l *Link) OneWayDelay() sim.Duration { return l.Cfg.RTT / 2 }
+// OneWayDelay is half the effective RTT.
+func (l *Link) OneWayDelay() sim.Duration { return l.RTT() / 2 }
 
-// RTT returns the round-trip propagation time.
-func (l *Link) RTT() sim.Duration { return l.Cfg.RTT }
+// RTT returns the round-trip propagation time, scaled by any injected
+// latency inflation (InflateLatency).
+func (l *Link) RTT() sim.Duration { return sim.Duration(float64(l.Cfg.RTT) * l.latInflate) }
 
 // BDP returns the bandwidth-delay product in bytes.
-func (l *Link) BDP() float64 { return l.Cfg.Rate * float64(l.Cfg.RTT) }
+func (l *Link) BDP() float64 { return l.Cfg.Rate * float64(l.RTT()) }
 
 // MessageDelay returns propagation plus serialization time for a message of
 // size bytes (no queueing model: control messages are small).
@@ -204,6 +222,14 @@ func (l *Link) Send(size float64, fn func(now sim.Time)) bool {
 		l.Drops++
 		l.eng.Tracef("fabric", "link %s dropped %g-byte control message", l.Cfg.Name, size)
 		return false
+	}
+	if l.lossEvery > 0 {
+		l.sends++
+		if l.sends%int64(l.lossEvery) == 0 {
+			l.SilentDrops++
+			l.eng.Tracef("fabric", "link %s silently lost %g-byte control message", l.Cfg.Name, size)
+			return false
+		}
 	}
 	l.eng.Schedule(l.MessageDelay(size), func() { fn(l.eng.Now()) })
 	return true
@@ -232,7 +258,7 @@ func (l *Link) notify(kind EventKind) {
 func (l *Link) applyCapacity() {
 	rate := 0.0
 	if !l.failed {
-		rate = l.Cfg.Rate * l.degrade
+		rate = l.Cfg.Rate * l.degrade * l.graySag
 	}
 	l.sim.SetCapacity(l.aToB, rate)
 	l.sim.SetCapacity(l.bToA, rate)
@@ -306,6 +332,75 @@ func (l *Link) InjectCorruption() {
 	l.eng.Tracef("fabric", "link %s silent corruption", l.Cfg.Name)
 	l.notify(EventCorruption)
 }
+
+// GrayDegrade injects a hidden rate sag: both directions drop to
+// fraction × (configured rate × any visible degradation) — but unlike
+// Degrade, no watcher is notified and Fraction() keeps reporting the
+// visible state. This models upstream congestion the link layer cannot
+// see (a NUMA-remote staging buffer, a cache-thrashed forwarding engine):
+// the rail limps, every absolute health probe still passes, and only a
+// peer-comparison detector measuring delivered bytes can tell.
+// fraction must be in (0, 1]; GrayDegrade(1) clears the sag.
+func (l *Link) GrayDegrade(fraction float64) {
+	if fraction <= 0 || fraction > 1 {
+		panic(fmt.Sprintf("fabric: GrayDegrade fraction %v outside (0, 1]", fraction))
+	}
+	if l.graySag == fraction {
+		return
+	}
+	l.graySag = fraction
+	l.applyCapacity()
+	l.eng.Tracef("fabric", "link %s gray-sagged to %g× rate (no notification)", l.Cfg.Name, fraction)
+}
+
+// GraySag returns the hidden sag multiplier (1 = none). Injection-side
+// bookkeeping only: detectors must not read this — it is the ground truth
+// they are being tested against.
+func (l *Link) GraySag() float64 { return l.graySag }
+
+// InflateLatency injects gray latency inflation: RTT, one-way delay and
+// every control-message delay scale by factor. No watcher is notified.
+// factor must be >= 1; InflateLatency(1) clears it. Credit- and
+// window-limited protocols sag (rate = window/RTT) while capacity-limited
+// flows are untouched — the signature of a jitter-limped rail.
+func (l *Link) InflateLatency(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("fabric: InflateLatency factor %v below 1", factor))
+	}
+	if l.latInflate == factor {
+		return
+	}
+	l.latInflate = factor
+	l.eng.Tracef("fabric", "link %s latency inflated %g× (no notification)", l.Cfg.Name, factor)
+}
+
+// LatencyFactor returns the injected latency inflation (1 = nominal).
+func (l *Link) LatencyFactor() float64 { return l.latInflate }
+
+// SetSilentLoss injects a sub-detection-threshold loss rate: every
+// every-th control message is dropped (Send reports false), deterministic
+// and counter-driven so replays are bit-identical. Zero disables. The
+// point of "every-th" rather than consecutive loss: a probe miss here and
+// there never accumulates into the MissedProbes run a binary death
+// detector needs, so the rail stays nominally healthy while retries eat
+// goodput.
+func (l *Link) SetSilentLoss(every int) {
+	if every < 0 {
+		panic(fmt.Sprintf("fabric: SetSilentLoss every %d negative", every))
+	}
+	if l.lossEvery == every {
+		return
+	}
+	l.lossEvery = every
+	if every == 0 {
+		l.eng.Tracef("fabric", "link %s silent loss cleared", l.Cfg.Name)
+	} else {
+		l.eng.Tracef("fabric", "link %s silent loss: dropping every %dth control message", l.Cfg.Name, every)
+	}
+}
+
+// SilentLossEvery returns the injected loss cadence (0 = none).
+func (l *Link) SilentLossEvery() int { return l.lossEvery }
 
 // Failed reports whether the link is currently down.
 func (l *Link) Failed() bool { return l.failed }

@@ -21,6 +21,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -62,6 +63,22 @@ const (
 	PartitionStart
 	// PartitionHeal reconnects the control plane.
 	PartitionHeal
+	// GraySlow injects a hidden rate sag on a link: capacity drops to
+	// Fraction × rate with no watcher notification and no flap — the rail
+	// limps, absolute health probes keep passing. Fraction 1 clears it.
+	GraySlow
+	// GrayJitter inflates a link's latency distribution by Fraction (a
+	// factor >= 1) with no notification; Fraction 1 clears it. Credit- and
+	// window-limited protocols sag, capacity-limited flows do not.
+	GrayJitter
+	// SilentLoss drops every Every-th control message on a link — a loss
+	// rate deliberately below the consecutive-miss threshold binary death
+	// detectors need. Every 0 clears it.
+	SilentLoss
+	// LimpHost inflates a cluster host's CPU/memory service time: every
+	// core runs at Fraction × speed. The host stays alive, heartbeats and
+	// all — it just limps. Fraction 1 clears it. Delivered to a Sink.
+	LimpHost
 )
 
 // String names the kind for traces and report tables.
@@ -85,6 +102,14 @@ func (k Kind) String() string {
 		return "partition"
 	case PartitionHeal:
 		return "heal"
+	case GraySlow:
+		return "gray-slow"
+	case GrayJitter:
+		return "gray-jitter"
+	case SilentLoss:
+		return "silent-loss"
+	case LimpHost:
+		return "limp-host"
 	default:
 		return "error-burst"
 	}
@@ -101,17 +126,20 @@ type Event struct {
 	// Fraction is the capacity fraction for LinkDegrade (ignored
 	// otherwise); Degrade(1) clears a standing degradation.
 	Fraction float64
-	// Host is the target host id (HostFail/HostRestore) or shard id
-	// (CtrlFail).
+	// Host is the target host id (HostFail/HostRestore/LimpHost) or shard
+	// id (CtrlFail).
 	Host int
 	// Shards lists the shard ids severed from the rest by PartitionStart.
 	Shards []int
+	// Every is the SilentLoss cadence: every Every-th control message is
+	// dropped (0 clears the injection).
+	Every int
 }
 
 // clusterKind reports whether the event needs a Sink rather than a Link.
 func (ev Event) clusterKind() bool {
 	switch ev.Kind {
-	case HostFail, HostRestore, CtrlFail, PartitionStart, PartitionHeal:
+	case HostFail, HostRestore, CtrlFail, PartitionStart, PartitionHeal, LimpHost:
 		return true
 	}
 	return false
@@ -120,7 +148,7 @@ func (ev Event) clusterKind() bool {
 // target names the event's subject for logs and tables.
 func (ev Event) target() string {
 	switch ev.Kind {
-	case HostFail, HostRestore:
+	case HostFail, HostRestore, LimpHost:
 		return fmt.Sprintf("host %d", ev.Host)
 	case CtrlFail:
 		return fmt.Sprintf("shard %d", ev.Host)
@@ -146,6 +174,9 @@ type Sink interface {
 	StartPartition(shards []int)
 	// HealPartition reconnects the control plane.
 	HealPartition()
+	// LimpHost inflates host id's service time: cores run at factor ×
+	// speed (factor 1 restores full speed). The host stays alive.
+	LimpHost(id int, factor float64)
 }
 
 // Plan is an ordered fault schedule.
@@ -222,6 +253,65 @@ func (p *Plan) PartitionWindow(shards []int, from sim.Time, window sim.Duration)
 	p.Add(Event{At: from + sim.Time(window), Kind: PartitionHeal})
 }
 
+// SlowRail schedules a permanent gray rate sag: from at onwards the link
+// delivers only (1-severity) × rate, with no flap and no notification —
+// the degraded-but-alive failure mode binary detectors cannot see.
+// severity must be in (0, 1).
+func (p *Plan) SlowRail(l *fabric.Link, at sim.Time, severity float64) {
+	if severity <= 0 || severity >= 1 {
+		panic(fmt.Sprintf("faults: SlowRail severity %v outside (0, 1)", severity))
+	}
+	p.Add(Event{At: at, Kind: GraySlow, Link: l, Fraction: surviving(severity)})
+}
+
+// surviving converts a sag severity into the surviving-capacity fraction,
+// rounded so 1-0.7 reads 0.3 (not 0.30000000000000004) in echoed schedules
+// and trace lines.
+func surviving(severity float64) float64 {
+	return math.Round((1-severity)*1e9) / 1e9
+}
+
+// SlowRailWindow schedules a gray rate sag of the given severity over
+// [from, from+window), silently recovering afterwards.
+func (p *Plan) SlowRailWindow(l *fabric.Link, from sim.Time, window sim.Duration, severity float64) {
+	if severity <= 0 || severity >= 1 {
+		panic(fmt.Sprintf("faults: SlowRailWindow severity %v outside (0, 1)", severity))
+	}
+	p.Add(Event{At: from, Kind: GraySlow, Link: l, Fraction: surviving(severity)})
+	p.Add(Event{At: from + sim.Time(window), Kind: GraySlow, Link: l, Fraction: 1})
+}
+
+// JitterWindow schedules gray latency inflation by factor (>= 1) over
+// [from, from+window), silently recovering afterwards.
+func (p *Plan) JitterWindow(l *fabric.Link, from sim.Time, window sim.Duration, factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("faults: JitterWindow factor %v below 1", factor))
+	}
+	p.Add(Event{At: from, Kind: GrayJitter, Link: l, Fraction: factor})
+	p.Add(Event{At: from + sim.Time(window), Kind: GrayJitter, Link: l, Fraction: 1})
+}
+
+// SilentLossWindow schedules a sub-threshold loss regime — every every-th
+// control message dropped — over [from, from+window).
+func (p *Plan) SilentLossWindow(l *fabric.Link, from sim.Time, window sim.Duration, every int) {
+	if every < 2 {
+		panic(fmt.Sprintf("faults: SilentLossWindow every %d must be >= 2", every))
+	}
+	p.Add(Event{At: from, Kind: SilentLoss, Link: l, Every: every})
+	p.Add(Event{At: from + sim.Time(window), Kind: SilentLoss, Link: l, Every: 0})
+}
+
+// LimpWindow schedules CPU/memory service-time inflation on host id over
+// [from, from+window): cores run at factor × speed, then recover. factor
+// must be in (0, 1).
+func (p *Plan) LimpWindow(id int, from sim.Time, window sim.Duration, factor float64) {
+	if factor <= 0 || factor >= 1 {
+		panic(fmt.Sprintf("faults: LimpWindow factor %v outside (0, 1)", factor))
+	}
+	p.Add(Event{At: from, Kind: LimpHost, Host: id, Fraction: factor})
+	p.Add(Event{At: from + sim.Time(window), Kind: LimpHost, Host: id, Fraction: 1})
+}
+
 // Apply schedules every event on the engine. Call before Run; events in
 // the past panic (the engine refuses to schedule before now). Plans that
 // contain cluster-scale events (host/controller/partition) need ApplyTo.
@@ -241,9 +331,12 @@ func (p *Plan) ApplyTo(eng *sim.Engine, sink Sink) {
 			panic(fmt.Sprintf("faults: plan schedules %s for %s but no Sink was given; use ApplyTo", ev.Kind, ev.target()))
 		}
 		eng.At(ev.At, func() {
-			if ev.Kind == LinkDegrade {
+			switch ev.Kind {
+			case LinkDegrade, GraySlow, GrayJitter, LimpHost:
 				eng.Tracef("faults", "%s %s (fraction=%g)", ev.Kind, ev.target(), ev.Fraction)
-			} else {
+			case SilentLoss:
+				eng.Tracef("faults", "%s %s (every=%d)", ev.Kind, ev.target(), ev.Every)
+			default:
 				eng.Tracef("faults", "%s %s", ev.Kind, ev.target())
 			}
 			switch ev.Kind {
@@ -257,6 +350,12 @@ func (p *Plan) ApplyTo(eng *sim.Engine, sink Sink) {
 				ev.Link.InjectErrorBurst()
 			case Corrupt:
 				ev.Link.InjectCorruption()
+			case GraySlow:
+				ev.Link.GrayDegrade(ev.Fraction)
+			case GrayJitter:
+				ev.Link.InflateLatency(ev.Fraction)
+			case SilentLoss:
+				ev.Link.SetSilentLoss(ev.Every)
 			case HostFail:
 				sink.FailHost(ev.Host)
 			case HostRestore:
@@ -267,6 +366,8 @@ func (p *Plan) ApplyTo(eng *sim.Engine, sink Sink) {
 				sink.StartPartition(ev.Shards)
 			case PartitionHeal:
 				sink.HealPartition()
+			case LimpHost:
+				sink.LimpHost(ev.Host, ev.Fraction)
 			}
 		})
 	}
@@ -280,8 +381,11 @@ func (p *Plan) String() string {
 	var b strings.Builder
 	for _, ev := range p.Events {
 		fmt.Fprintf(&b, "%12.4fs  %-12s  %s", float64(ev.At), ev.Kind, ev.target())
-		if ev.Kind == LinkDegrade {
+		switch ev.Kind {
+		case LinkDegrade, GraySlow, GrayJitter, LimpHost:
 			fmt.Fprintf(&b, "  fraction=%g", ev.Fraction)
+		case SilentLoss:
+			fmt.Fprintf(&b, "  every=%d", ev.Every)
 		}
 		b.WriteByte('\n')
 	}
@@ -297,8 +401,11 @@ func (p *Plan) MarkdownTable() string {
 	b.WriteString("| t (s) | action | target | fraction |\n|---|---|---|---|\n")
 	for _, ev := range p.Events {
 		frac := "—"
-		if ev.Kind == LinkDegrade {
+		switch ev.Kind {
+		case LinkDegrade, GraySlow, GrayJitter, LimpHost:
 			frac = fmt.Sprintf("%g", ev.Fraction)
+		case SilentLoss:
+			frac = fmt.Sprintf("every %d", ev.Every)
 		}
 		fmt.Fprintf(&b, "| %.4f | %s | %s | %s |\n", float64(ev.At), ev.Kind, ev.target(), frac)
 	}

@@ -150,6 +150,9 @@ func (r *recordingSink) StartPartition(shards []int) {
 	r.got = append(r.got, sinkEvent("partition", len(shards)))
 }
 func (r *recordingSink) HealPartition() { r.got = append(r.got, "heal") }
+func (r *recordingSink) LimpHost(id int, factor float64) {
+	r.got = append(r.got, sinkEvent("limp-host", id))
+}
 
 func sinkEvent(what string, n int) string { return what + ":" + string(rune('0'+n)) }
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"e2edt/internal/fabric"
+	"e2edt/internal/metrics"
 	"e2edt/internal/sim"
 )
 
@@ -38,6 +39,12 @@ const (
 	// Probing: the link-layer came back up; end-to-end echoes must succeed
 	// before the rail is re-admitted.
 	Probing
+	// Suspect: the rail answers every probe and reports full link-layer
+	// capacity, yet its delivered rate or probe latency is a statistical
+	// outlier against its cohort — a gray failure. Suspect rails stay
+	// usable (they make progress), but arbiters decay their weight and
+	// hedging avoids them as retry targets.
+	Suspect
 )
 
 // String names the state.
@@ -49,13 +56,15 @@ func (s State) String() string {
 		return "degraded"
 	case Dead:
 		return "dead"
+	case Suspect:
+		return "suspect"
 	default:
 		return "probing"
 	}
 }
 
 // Usable reports whether a rail in this state may carry streams.
-func (s State) Usable() bool { return s == Healthy || s == Degraded }
+func (s State) Usable() bool { return s == Healthy || s == Degraded || s == Suspect }
 
 // Policy tunes the manager.
 type Policy struct {
@@ -75,6 +84,10 @@ type Policy struct {
 	// MissedProbes is how many consecutive missed heartbeats declare a
 	// live rail Dead even without a link-down event (default 2).
 	MissedProbes int
+	// Gray configures the peer-comparison outlier scorer that catches
+	// degraded-but-alive rails the binary probe detector cannot see. The
+	// zero value disables it: no extra events, no extra state transitions.
+	Gray GrayPolicy
 }
 
 // DefaultPolicy returns the tuned rail policy, enabled.
@@ -107,6 +120,7 @@ func (p Policy) withDefaults() Policy {
 	if p.MissedProbes <= 0 {
 		p.MissedProbes = d.MissedProbes
 	}
+	p.Gray = p.Gray.withDefaults()
 	return p
 }
 
@@ -135,6 +149,10 @@ type Manager struct {
 	Transitions []Transition
 	// Deaths and Readmissions count Dead entries and Probing→usable exits.
 	Deaths, Readmissions int
+	// SuspectEntries, GrayDegradations and GrayClears count the gray
+	// scorer's verdicts: rails entering Suspect, Suspect rails escalated to
+	// Degraded, and suspects exonerated back to Healthy.
+	SuspectEntries, GrayDegradations, GrayClears int
 
 	pol    Policy
 	eng    *sim.Engine
@@ -146,6 +164,16 @@ type Manager struct {
 	deadln []*sim.Event // pending probe-timeout events, one per rail
 	ticker *sim.Ticker
 	stop   bool
+
+	// Gray scorer state (allocated always, driven only when Gray.Enabled).
+	grayRate  []*metrics.EWMA // per-stream-normalized delivered rate per rail
+	grayLat   []*metrics.EWMA // probe round-trip latency per rail
+	ratio     []float64       // last cohort-relative rate ratio per rail
+	breach    []int           // consecutive scoring breaches (hysteresis up)
+	clear     []int           // consecutive clean scores (hysteresis down)
+	grayDeg   []bool          // rail was Degraded by the scorer, not the link
+	probeSent []sim.Time      // departure time of the outstanding probe
+	firstSus  sim.Time        // earliest Suspect entry, -1 if never
 }
 
 // New builds a manager over the given rails and starts its heartbeat.
@@ -157,11 +185,24 @@ func New(eng *sim.Engine, links []*fabric.Link, pol Policy) *Manager {
 	pol = pol.withDefaults()
 	m := &Manager{
 		pol: pol, eng: eng, links: links,
-		states: make([]State, len(links)),
-		missed: make([]int, len(links)),
-		echoes: make([]int, len(links)),
-		seq:    make([]uint64, len(links)),
-		deadln: make([]*sim.Event, len(links)),
+		states:    make([]State, len(links)),
+		missed:    make([]int, len(links)),
+		echoes:    make([]int, len(links)),
+		seq:       make([]uint64, len(links)),
+		deadln:    make([]*sim.Event, len(links)),
+		grayRate:  make([]*metrics.EWMA, len(links)),
+		grayLat:   make([]*metrics.EWMA, len(links)),
+		ratio:     make([]float64, len(links)),
+		breach:    make([]int, len(links)),
+		clear:     make([]int, len(links)),
+		grayDeg:   make([]bool, len(links)),
+		probeSent: make([]sim.Time, len(links)),
+		firstSus:  -1,
+	}
+	for i := range links {
+		m.grayRate[i] = metrics.NewEWMA(pol.Gray.Decay)
+		m.grayLat[i] = metrics.NewEWMA(pol.Gray.Decay)
+		m.ratio[i] = 1
 	}
 	for i, l := range links {
 		switch f := l.Fraction(); {
@@ -235,8 +276,14 @@ func (m *Manager) onLinkEvent(i int, ev fabric.Event) {
 				m.transition(i, Degraded)
 			}
 		case Degraded:
-			if ev.Fraction >= 1 {
+			if ev.Fraction >= 1 && !m.grayDeg[i] {
 				m.transition(i, Healthy)
+			}
+		case Suspect:
+			// A visible link-layer degrade outranks a statistical verdict.
+			if ev.Fraction < 1 {
+				m.grayDeg[i] = false
+				m.transition(i, Degraded)
 			}
 		}
 		// Dead/Probing: the standing fraction is picked up on re-admission.
@@ -245,11 +292,14 @@ func (m *Manager) onLinkEvent(i int, ev fabric.Event) {
 
 // tick is the heartbeat: probe every rail that is not Dead. Dead rails
 // wait for the link-up event; probing them would only count drops.
-func (m *Manager) tick(sim.Time) {
+func (m *Manager) tick(now sim.Time) {
 	for i := range m.links {
 		if m.states[i] != Dead && m.deadln[i] == nil {
 			m.probe(i)
 		}
+	}
+	if m.pol.Gray.Enabled {
+		m.score(now)
 	}
 }
 
@@ -265,6 +315,7 @@ func (m *Manager) probe(i int) {
 	if min := 2 * l.RTT(); timeout < min {
 		timeout = min
 	}
+	m.probeSent[i] = m.eng.Now()
 	m.deadln[i] = m.eng.Schedule(timeout, func() {
 		m.deadln[i] = nil
 		m.probeMissed(i, seq)
@@ -286,6 +337,9 @@ func (m *Manager) probeEcho(i int, seq uint64) {
 		m.deadln[i] = nil
 	}
 	m.missed[i] = 0
+	if m.pol.Gray.Enabled {
+		m.grayLat[i].Observe(float64(m.eng.Now() - m.probeSent[i]))
+	}
 	if m.states[i] != Probing {
 		return
 	}
@@ -308,7 +362,9 @@ func (m *Manager) probeMissed(i int, seq uint64) {
 		return
 	}
 	switch m.states[i] {
-	case Healthy, Degraded:
+	case Healthy, Degraded, Suspect:
+		// A Suspect rail is still subject to the binary detector: real
+		// missed heartbeats kill it like any other live rail.
 		m.missed[i]++
 		if m.missed[i] >= m.pol.MissedProbes {
 			m.transition(i, Dead)
@@ -333,11 +389,24 @@ func (m *Manager) transition(i int, to State) {
 		m.eng.Cancel(m.deadln[i])
 		m.deadln[i] = nil
 	}
+	m.breach[i], m.clear[i] = 0, 0
 	switch {
 	case to == Dead:
 		m.Deaths++
+		m.grayDeg[i] = false
 	case from == Probing && to.Usable():
 		m.Readmissions++
+		// A re-admitted rail starts with a clean statistical slate: its
+		// pre-outage rate history says nothing about the repaired path.
+		m.grayRate[i].Reset()
+		m.grayLat[i].Reset()
+		m.ratio[i] = 1
+		m.grayDeg[i] = false
+	case to == Suspect:
+		m.SuspectEntries++
+		if m.firstSus < 0 {
+			m.firstSus = m.eng.Now()
+		}
 	}
 	now := m.eng.Now()
 	m.Transitions = append(m.Transitions, Transition{Rail: i, From: from, To: to, At: now})

@@ -38,6 +38,7 @@ import (
 	"e2edt/internal/fabric"
 	"e2edt/internal/fluid"
 	"e2edt/internal/host"
+	"e2edt/internal/metrics"
 	"e2edt/internal/numa"
 	"e2edt/internal/pipe"
 	"e2edt/internal/placer"
@@ -90,6 +91,15 @@ type Params struct {
 	// probed failback onto restored rails. Requires AckTimeout > 0 — the
 	// ACK tracker is what makes migration resume exactly-once.
 	Rails railmgr.Policy
+
+	// Hedge, when Enabled, turns on tail-tolerant hedged transfers: a
+	// stream whose current credit window blows past an adaptive deadline
+	// (a quantile of recent window completion times on trusted rails) gets
+	// that window re-issued speculatively on the best non-suspect rail.
+	// First completion wins, the loser is cancelled, and the ACK fold
+	// keeps delivery exactly-once. Requires Rails.Enabled — hedges need
+	// somewhere else to run.
+	Hedge HedgePolicy
 }
 
 // recoveryEnabled reports whether in-protocol recovery is on.
@@ -200,6 +210,9 @@ const (
 	KindRetransmit
 	// KindChecksum: re-transfer of a corrupt block on a healthy rail.
 	KindChecksum
+	// KindHedge: migration onto the rail where a hedged window just won —
+	// the original rail lost the race, so the stream follows the winner.
+	KindHedge
 	// KindFailback: clean migration back onto a re-admitted rail.
 	KindFailback
 	// KindFailover: migration off a Dead rail (or parked waiting for any
@@ -216,6 +229,8 @@ func (k RecoveryKind) String() string {
 		return "retransmit"
 	case KindChecksum:
 		return "checksum"
+	case KindHedge:
+		return "hedge"
 	case KindFailback:
 		return "failback"
 	default:
@@ -266,6 +281,22 @@ type stream struct {
 	faultAt        sim.Time
 	pending        *sim.Event
 	done           bool
+
+	// flowSize is the current flow's total bytes (its Remaining at build),
+	// the upper bound for hedge targets within this flow.
+	flowSize float64
+	// rateMark/rateMarkAt and winMark/winMarkAt are progress checkpoints
+	// for the gray rate feed and the per-window completion sampler.
+	rateMark   float64
+	rateMarkAt sim.Time
+	winMark    float64
+	winMarkAt  sim.Time
+	// lastWin is this tick's fresh normalized window-completion sample
+	// (valid only when lastWinFresh), compared against the hedge deadline.
+	lastWin      float64
+	lastWinFresh bool
+	// hedge is the stream's in-flight hedged window, nil when none.
+	hedge *hedgeRace
 }
 
 // Transfer is a running (or finished) RFTP session.
@@ -306,9 +337,19 @@ type Transfer struct {
 	// delivered unnoticed because Config.Checksum was off.
 	CorruptionsDetected int
 	IntegrityViolations int
+	// Hedges counts launched hedged windows; HedgeWins those where the
+	// hedge finished first (the stream migrated to the winning rail);
+	// HedgeLosses those the original outran. HedgeWaste is duplicate bytes
+	// moved by racing — the price of the tail cut.
+	Hedges, HedgeWins, HedgeLosses int
+	HedgeWaste                     float64
 
 	recoveryLat  []sim.Duration
 	migrationLat []sim.Duration
+	hedgeLat     []sim.Duration
+	winQ         []*metrics.WindowedQuantile // per-rail window completion times
+	firstHedge   sim.Time
+	hedgeCount   int // hedges currently racing
 	ticker       *sim.Ticker
 	failed       bool
 	stopped      bool
@@ -341,6 +382,12 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 	if p.Rails.Enabled && !p.recoveryEnabled() {
 		return nil, fmt.Errorf("rftp: Rails requires AckTimeout > 0 (the ACK tracker makes migration exactly-once)")
 	}
+	if p.Hedge.Enabled {
+		if !p.Rails.Enabled {
+			return nil, fmt.Errorf("rftp: Hedge requires Rails.Enabled (hedged windows need alternate rails)")
+		}
+		p.Hedge = p.Hedge.withDefaults()
+	}
 	if p.recoveryEnabled() {
 		if p.RetryBackoff <= 0 {
 			p.RetryBackoff = 100 * sim.Millisecond
@@ -360,8 +407,15 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 		links: links, src: src, dst: dst,
 		sim: links[0].Sim(), eng: links[0].Engine(),
 		OnComplete: onComplete,
+		firstHedge: -1,
 	}
 	t.started = t.eng.Now()
+	if p.Hedge.Enabled {
+		t.winQ = make([]*metrics.WindowedQuantile, len(links))
+		for i := range links {
+			t.winQ[i] = metrics.NewWindowedQuantile(p.Hedge.Window)
+		}
+	}
 
 	// Resolve the sender NIC on every rail up front; a stream's endpoints
 	// on rail r are built from these.
@@ -471,6 +525,7 @@ func Start(links []*fabric.Link, senderHost *host.Host, cfg Config, p Params,
 			}
 			t.sim.Start(st.transfer)
 			st.lastProgressAt = t.eng.Now()
+			t.resetMarks(st, t.eng.Now())
 		}
 		if t.mgr != nil {
 			t.rebalanceCredits()
@@ -493,6 +548,7 @@ func (t *Transfer) buildStream(st *stream, remaining float64) (*fluid.Transfer, 
 		Remaining:  remaining,
 		OnComplete: func(now sim.Time) { t.streamDone(st, now) },
 	}
+	st.flowSize = remaining
 	if pl := t.placer(); pl != nil {
 		rail := st.rail
 		pl.Track(f, func(fl *fluid.Flow) {
@@ -585,6 +641,9 @@ func (t *Transfer) window() float64 {
 // streamDone marks a stream fully delivered; the last one closes the
 // session with a control round trip.
 func (t *Transfer) streamDone(s *stream, _ sim.Time) {
+	if s.hedge != nil {
+		t.hedgeLost(s) // full delivery subsumes any racing hedge
+	}
 	t.untrack(s.transfer)
 	s.done = true
 	s.kind = KindNone
@@ -657,6 +716,10 @@ func (t *Transfer) checkProgress(now sim.Time) {
 		if s.kind != KindNone && m > t.window() {
 			s.kind = KindNone
 		}
+		t.observeStream(s, m, now)
+		if s.hedge != nil && m >= s.hedge.target {
+			t.hedgeLost(s) // the original outran its hedge
+		}
 		if m > s.lastMoved {
 			s.lastMoved = m
 			s.lastProgressAt = now
@@ -665,6 +728,10 @@ func (t *Transfer) checkProgress(now sim.Time) {
 		if now-s.lastProgressAt >= sim.Time(t.P.AckTimeout) {
 			t.declareLoss(s, now)
 		}
+	}
+	t.feedGrayRates(now)
+	if t.P.Hedge.Enabled {
+		t.evaluateHedges(now)
 	}
 }
 
@@ -675,6 +742,12 @@ func (t *Transfer) checkProgress(now sim.Time) {
 func (t *Transfer) declareLoss(s *stream, now sim.Time) {
 	if t.failed || t.stopped || s.done || s.recovering {
 		return
+	}
+	// A hedge racing against a window we are about to declare lost cannot
+	// be trusted to fold: discard it and let the retransmission cover the
+	// range (exactly-once beats saving a window of wire time).
+	if s.hedge != nil {
+		t.hedgeLost(s)
 	}
 	s.recovering = true
 	s.kind = KindRetransmit
@@ -763,6 +836,9 @@ func (t *Transfer) migrateStream(s *stream, now sim.Time) {
 // ACKs arrive during the handover, so nothing is retransmitted and nothing
 // is delivered twice.
 func (t *Transfer) moveStream(s *stream, target int, now sim.Time) {
+	if s.hedge != nil {
+		t.hedgeLost(s)
+	}
 	t.sim.Sync()
 	m := s.transfer.Transferred()
 	t.untrack(s.transfer)
@@ -847,12 +923,16 @@ func (t *Transfer) rebalanceCredits() {
 	if t.mgr == nil {
 		return
 	}
+	// A rail's effective health is its visible capacity fraction times the
+	// gray scorer's weight — a suspect rail sheds credits in proportion to
+	// its measured shortfall even though its link layer claims full speed.
+	eff := func(r int) float64 { return t.links[r].Fraction() * t.mgr.GrayWeight(r) }
 	sumFrac, n := 0.0, 0
 	for _, s := range t.streams {
 		if s.done || s.recovering || !s.transfer.Active() {
 			continue
 		}
-		sumFrac += t.links[s.rail].Fraction()
+		sumFrac += eff(s.rail)
 		n++
 	}
 	if n == 0 || sumFrac <= 0 {
@@ -862,7 +942,7 @@ func (t *Transfer) rebalanceCredits() {
 		if s.done || s.recovering || !s.transfer.Active() {
 			continue
 		}
-		scale := t.links[s.rail].Fraction() * float64(n) / sumFrac
+		scale := eff(s.rail) * float64(n) / sumFrac
 		t.sim.SetDemand(s.transfer.Flow, t.windowCap(t.links[s.rail])*scale)
 	}
 }
@@ -886,6 +966,9 @@ func (t *Transfer) corrupted(r int) {
 	if victim == nil {
 		t.eng.Tracef("rftp", "corruption on %s hit no payload in flight", t.links[r].Cfg.Name)
 		return
+	}
+	if victim.hedge != nil {
+		t.hedgeLost(victim)
 	}
 	now := t.eng.Now()
 	if !t.Cfg.Checksum {
@@ -1007,6 +1090,7 @@ func (t *Transfer) resume(s *stream, now sim.Time) {
 	s.retries = 0
 	s.lastMoved = 0
 	s.lastProgressAt = now
+	t.resetMarks(s, now)
 	lat := sim.Duration(now - s.faultAt)
 	switch s.kind {
 	case KindFailover:
@@ -1021,6 +1105,9 @@ func (t *Transfer) resume(s *stream, now sim.Time) {
 	case KindChecksum:
 		t.eng.Tracef("rftp", "stream %d re-transferring corrupt block on %s: offset %g, %g to go",
 			s.idx, t.links[s.rail].Cfg.Name, s.acked, s.remaining)
+	case KindHedge:
+		t.eng.Tracef("rftp", "stream %d following hedge win onto %s after %v: offset %g, %g to go",
+			s.idx, t.links[s.rail].Cfg.Name, lat, s.acked, s.remaining)
 	default:
 		t.Recoveries++
 		t.recoveryLat = append(t.recoveryLat, lat)
@@ -1062,6 +1149,9 @@ func (t *Transfer) teardown() {
 		if s.pending != nil {
 			t.eng.Cancel(s.pending)
 			s.pending = nil
+		}
+		if s.hedge != nil {
+			t.hedgeLost(s)
 		}
 		t.untrack(s.transfer)
 		if s.transfer.Active() {

@@ -40,11 +40,16 @@ type Report struct {
 	// TotalMigrations and TotalFailbacks count rail failovers and
 	// failbacks across all jobs — multipath repairs the transfer layer
 	// made while the scheduler kept the job admitted.
-	TotalMigrations   int
-	TotalFailbacks    int
-	MaxQueueLen       int
-	MeanWait, P99Wait float64 // seconds
-	MeanSlowdown      float64
+	TotalMigrations int
+	TotalFailbacks  int
+	// Gray/tail-tolerance aggregates: hedged windows launched and won,
+	// duplicate bytes hedging re-sent, and gray suspect verdicts.
+	TotalHedges, TotalHedgeWins int
+	TotalHedgeWaste             float64
+	TotalSuspects               int
+	MaxQueueLen                 int
+	MeanWait, P99Wait           float64 // seconds
+	MeanSlowdown                float64
 	// AggregateGoodput is delivered bytes over the makespan (first submit
 	// to last finish), the service's end-to-end rate.
 	AggregateGoodput float64
@@ -85,6 +90,11 @@ func (s *Scheduler) Report() Report {
 		r.TotalRetransmitted += j.Retransmitted()
 		r.TotalMigrations += j.Migrations()
 		r.TotalFailbacks += j.Failbacks()
+		h, w, waste := j.Hedges()
+		r.TotalHedges += h
+		r.TotalHedgeWins += w
+		r.TotalHedgeWaste += waste
+		r.TotalSuspects += j.GraySuspects()
 		if j.Submitted < firstSubmit {
 			firstSubmit = j.Submitted
 		}
@@ -205,6 +215,25 @@ func (s *Scheduler) JobTable() *metrics.Table {
 			fmt.Sprintf("%d", j.Migrations()),
 		)
 	}
+	return t
+}
+
+// GrayTable renders the gray/tail-tolerance aggregates, or nil when the
+// run saw no verdicts and no hedges (keeps legacy output byte-stable).
+func (r Report) GrayTable() *metrics.Table {
+	if r.TotalHedges == 0 && r.TotalSuspects == 0 {
+		return nil
+	}
+	t := &metrics.Table{
+		Title:   "Gray failures & tail tolerance",
+		Headers: []string{"suspect verdicts", "hedges", "hedge wins", "hedge waste"},
+	}
+	t.AddRow(
+		fmt.Sprintf("%d", r.TotalSuspects),
+		fmt.Sprintf("%d", r.TotalHedges),
+		fmt.Sprintf("%d", r.TotalHedgeWins),
+		units.FormatBytes(int64(r.TotalHedgeWaste)),
+	)
 	return t
 }
 

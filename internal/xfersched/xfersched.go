@@ -148,6 +148,10 @@ type Job struct {
 	retransmitted float64 // bytes scheduled for retransmission, folded attempts
 	migrations    int     // rail failovers, folded attempts
 	failbacks     int     // rail failbacks, folded attempts
+	hedges        int     // hedged windows launched, folded attempts
+	hedgeWins     int     // hedges that beat the original, folded attempts
+	hedgeWaste    float64 // duplicate bytes hedging re-sent, folded attempts
+	suspects      int     // gray suspect verdicts, folded attempts
 	stallBudget   sim.Duration
 
 	lastProgress   float64
@@ -194,6 +198,30 @@ func (j *Job) Failbacks() int {
 	n := j.failbacks
 	if j.rt != nil {
 		n += j.rt.Failbacks
+	}
+	return n
+}
+
+// Hedges returns launched / won hedged windows and the duplicate bytes
+// hedging re-sent, across all attempts.
+func (j *Job) Hedges() (launched, wins int, waste float64) {
+	launched, wins, waste = j.hedges, j.hedgeWins, j.hedgeWaste
+	if j.rt != nil {
+		launched += j.rt.Hedges
+		wins += j.rt.HedgeWins
+		waste += j.rt.HedgeWaste
+	}
+	return launched, wins, waste
+}
+
+// GraySuspects returns how many gray suspect verdicts the job's rail
+// managers issued across all attempts.
+func (j *Job) GraySuspects() int {
+	n := j.suspects
+	if j.rt != nil {
+		if m := j.rt.Rails(); m != nil {
+			n += m.SuspectEntries
+		}
 	}
 	return n
 }
@@ -251,6 +279,12 @@ type Config struct {
 	// ReferenceBW is the per-job ideal rate used for the slowdown metric;
 	// 0 selects PerJobBW.
 	ReferenceBW float64
+	// SuspectDecay scales a job's fair-share weight while any of its
+	// streams rides a rail under a gray verdict (rftp's detection plane),
+	// shifting the stream budget toward jobs running entirely on trusted
+	// rails. In (0, 1]; 0 disables the decay. Requires the RFTP params to
+	// run with Rails.Gray enabled to ever see a suspect.
+	SuspectDecay float64
 }
 
 // DefaultConfig returns a tuned scheduler for the Figure 5 LAN system.
@@ -306,6 +340,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("xfersched: retry backoff bounds invalid")
 	case c.MaxAttempts <= 0:
 		return fmt.Errorf("xfersched: MaxAttempts must be positive")
+	case c.SuspectDecay < 0 || c.SuspectDecay > 1:
+		return fmt.Errorf("xfersched: SuspectDecay must be in [0, 1]")
 	}
 	return nil
 }
@@ -592,6 +628,12 @@ func (s *Scheduler) divideStreams(jobs []*Job, perTenant map[string]int) []int {
 	total := 0.0
 	for i, j := range jobs {
 		weights[i] = s.tenant(j.Spec.Tenant).Weight / float64(perTenant[j.Spec.Tenant])
+		// A job with streams on a gray-suspect rail is decayed, not parked:
+		// it keeps at least one stream (the min-1 floor below), but the
+		// budget tilts toward jobs running entirely on trusted rails.
+		if s.Cfg.SuspectDecay > 0 && j.rt != nil && j.rt.SuspectRailsInUse() > 0 {
+			weights[i] *= s.Cfg.SuspectDecay
+		}
 		total += weights[i]
 	}
 	alloc := make([]int, n)
@@ -825,6 +867,12 @@ func (j *Job) foldAttempt() {
 	j.retransmitted += j.rt.Retransmitted
 	j.migrations += j.rt.Migrations
 	j.failbacks += j.rt.Failbacks
+	j.hedges += j.rt.Hedges
+	j.hedgeWins += j.rt.HedgeWins
+	j.hedgeWaste += j.rt.HedgeWaste
+	if m := j.rt.Rails(); m != nil {
+		j.suspects += m.SuspectEntries
+	}
 	j.rt = nil
 }
 
