@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke cluster-smoke chaos-smoke gray-smoke bench-pr6
+.PHONY: build test race vet fmt lint verify bench bench-smoke failover-smoke placer-smoke cluster-smoke chaos-smoke gray-smoke objsim-smoke bench-pr6
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,18 @@ gray-smoke:
 	$(GO) run ./cmd/xfersched -jobs 10 -seed 3 -gridftp 0 -gray roce1@2:0.7 -hedge
 	$(GO) run ./cmd/xfersched -cluster -hosts 16 -shards 2 -ctenants 32 -cjobs 120 \
 		-gray 3@8+6:0.95 -shed -replay-check
+
+# Object-gateway gate: the objstore suites (key/multipart parsing, zero-
+# length objects, coalescing windows, 20-seed determinism) plus the batch
+# and tiny-job suites under the race detector, then objsim drives both
+# modes with the replay-hash check — per-object worst case, coalesced, and
+# the sharded cluster under lossy control (CI runs this).
+objsim-smoke:
+	$(GO) test -race ./internal/objstore
+	$(GO) test -race -run 'Batch|TinyJobs|ZeroLength|Grace' ./internal/rftp ./internal/xfersched
+	$(GO) run ./cmd/objsim -coalesce 1 -objects 256 -replay-check
+	$(GO) run ./cmd/objsim -coalesce 64 -replay-check
+	$(GO) run ./cmd/objsim -cluster -objects 512 -coalesce 64 -replay-check
 
 # Full S5 scaling sweep (100/300/1000 hosts, each run twice) → BENCH_PR6.json.
 # Takes several minutes; not part of CI.

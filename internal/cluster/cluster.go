@@ -345,6 +345,15 @@ type Cluster struct {
 	// It never feeds back into the simulation or the trace.
 	DecisionLat *metrics.Histogram
 
+	// OnJobDone, when set, observes each job's committed completion (after
+	// the exactly-once ledger is bumped). Voided completions — a landing on
+	// a host that died before commit — do not fire it; the job restarts and
+	// fires on its real completion. Jobs are numbered in Submit order.
+	OnJobDone func(id int, now sim.Time)
+	// OnJobLost observes jobs the control plane abandons (submit retries
+	// exhausted, or every replica dead past the grace period).
+	OnJobLost func(id int, now sim.Time)
+
 	hosts    []*hostNode
 	shards   []*shard
 	tenants  []tenant
@@ -659,6 +668,9 @@ func (c *Cluster) submitRPC(j *job) {
 		if j.retries >= c.Cfg.CtrlRetries {
 			j.state = jobLost
 			c.JobsLost++
+			if c.OnJobLost != nil {
+				c.OnJobLost(j.id, c.Eng.Now())
+			}
 			c.jobFinished()
 			c.Eng.Tracef("cluster", "job %d lost after %d retries", j.id, j.retries)
 			return
@@ -750,7 +762,10 @@ func (c *Cluster) releaseClass(j *job) {
 		return
 	}
 	j.class.jobs--
-	if j.class.jobs <= 0 {
+	if j.class.jobs <= 0 && c.classes[j.class.sig] == j.class {
+		// Identity check: a stale entry (flow detached before this release
+		// ran) may already have been displaced by a fresh class under the
+		// same signature — that one must survive this delete.
 		delete(c.classes, j.class.sig)
 	}
 	j.class = nil
@@ -786,7 +801,17 @@ func (c *Cluster) start(j *job, sh *shard) {
 	}
 	if !c.Cfg.NoFlowClasses {
 		sig := classSig(sh.id, j.tenant, f.Uses)
-		if ent, ok := c.classes[sig]; ok {
+		ent, ok := c.classes[sig]
+		if ok && !c.FSim.Network.Registered(ent.flow) {
+			// The entry's flow already detached: its last member completed
+			// in this very event and the finish callback that would retire
+			// the entry is still pending behind us in the callback queue.
+			// Joining would attach this job to a flow the solver no longer
+			// sees — rate zero forever. Found a fresh class instead; the
+			// pending releaseClass only deletes its own entry.
+			ok = false
+		}
+		if ok {
 			if sameUses(ent.flow.Uses, f.Uses) {
 				// Another job already runs this exact resource path:
 				// discard the freshly built twin and join its class.
@@ -863,6 +888,9 @@ func (c *Cluster) finish(j *job, now sim.Time) {
 	c.completions[j.id]++
 	j.shard.jobDone(j)
 	c.Eng.Tracef("cluster", "job %d done (%s to %s)", j.id, units.FormatBytes(int64(j.size)), dst.h.Name)
+	if c.OnJobDone != nil {
+		c.OnJobDone(j.id, now)
+	}
 	c.jobFinished()
 	if c.remaining > 0 {
 		c.owner(j.src).admit()
@@ -916,6 +944,28 @@ func (c *Cluster) Run() {
 			c.HostLimps, c.HostSuspects, c.HostClears, c.Shed)
 	}
 }
+
+// HostForKey deterministically routes an object key onto a host: FNV-1a
+// over the key, mod the host count. The objstore gateway shards tenant
+// namespaces across the cluster with it; pinning a (tenant, key-range) to
+// one host is what lets adjacent small objects coalesce into one job.
+func HostForKey(key string, hosts int) int {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return int(h % uint64(hosts))
+}
+
+// HostForKey routes an object key onto one of this cluster's hosts.
+func (c *Cluster) HostForKey(key string) int { return HostForKey(key, len(c.hosts)) }
+
+// NextJobID returns the id the next Submit call will assign (jobs are
+// numbered in submission order), so callers can correlate OnJobDone
+// callbacks with their own bookkeeping.
+func (c *Cluster) NextJobID() int { return len(c.jobs) }
 
 // Hosts returns the number of simulated hosts.
 func (c *Cluster) Hosts() int { return len(c.hosts) }

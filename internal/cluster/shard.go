@@ -454,6 +454,9 @@ func (s *shard) giveUp(j *job) {
 	j.state = jobLost
 	s.c.JobsLost++
 	s.c.Eng.Tracef("cluster", "shard %d gives up job %d (dead hosts past grace)", s.id, j.id)
+	if s.c.OnJobLost != nil {
+		s.c.OnJobLost(j.id, s.c.Eng.Now())
+	}
 	s.c.jobFinished()
 }
 

@@ -328,6 +328,26 @@ func (s *System) StartRFTPSet(dir Direction, cfg rftp.Config, p rftp.Params,
 	return rftp.StartSet(s.TB.FrontLinks, snd.Front, cfg, s.Opt.Recovery.ApplyRFTP(p), src, dst, files, onDone)
 }
 
+// StartRFTPBatchOn launches a coalesced object window between explicit
+// files: many small objects share one session and its stream credit
+// windows, delimited in-band instead of paying per-object control round
+// trips (contrast StartRFTPSet). onObject observes exactly-once per-object
+// completions; zero-size objects are legal and complete like any other.
+func (s *System) StartRFTPBatchOn(dir Direction, cfg rftp.Config, p rftp.Params,
+	srcFile, dstFile *fsim.File, objects []rftp.ObjectSpec,
+	onObject func(i int, now sim.Time), onDone func(now sim.Time)) (*rftp.BatchTransfer, error) {
+	if srcFile == nil || dstFile == nil {
+		return nil, fmt.Errorf("core: transfer needs source and destination files")
+	}
+	snd, _ := s.ends(dir)
+	if s.Placer != nil && cfg.Placer == nil {
+		cfg.Placer = s.Placer
+	}
+	src := pipe.FileReader{File: srcFile, Direct: true}
+	dst := pipe.FileWriter{File: dstFile, Direct: true}
+	return rftp.StartBatch(s.TB.FrontLinks, snd.Front, cfg, s.Opt.Recovery.ApplyRFTP(p), src, dst, objects, onObject, onDone)
+}
+
 // StartGridFTP launches a GridFTP transfer in the given direction.
 // GridFTP reads and writes buffered (no direct I/O) on its single
 // per-stream threads.

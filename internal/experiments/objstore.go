@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+
+	"e2edt/internal/chart"
+	"e2edt/internal/cluster"
+	"e2edt/internal/core"
+	"e2edt/internal/metrics"
+	"e2edt/internal/objstore"
+	"e2edt/internal/sim"
+	"e2edt/internal/trace"
+	"e2edt/internal/units"
+	"e2edt/internal/xfersched"
+)
+
+func init() {
+	register("S8", ObjectGateway)
+}
+
+// s8Workload is the small-file burst every cell moves: one tenant so the
+// coalescing knob alone decides window shapes, fixed 24 KB objects so the
+// goodput story is about per-object overhead, not size variance.
+func s8Workload(objects int) objstore.Workload {
+	w := objstore.DefaultWorkload()
+	w.Objects = objects
+	w.Tenants = 1
+	w.MinBytes = 24 << 10
+	w.MaxBytes = 24 << 10
+	w.ZeroEvery = 0
+	w.Seed = 1
+	return w
+}
+
+// s8Outcome is one single-pair cell's measurements.
+type s8Outcome struct {
+	elapsed float64
+	goodput float64 // payload bytes/s over the burst's makespan
+	cpu     float64 // sender front-end core-seconds, all processes
+	windows int
+	lookups int
+	scans   int
+}
+
+// s8Run drives one single-pair gateway cell: a burst of PUTs at t=1s,
+// coalescing knob set to k, run to completion under the exactly-once audit.
+func s8Run(objects, k int, rec *trace.Recorder) s8Outcome {
+	opt := core.DefaultOptions()
+	opt.DatasetSize = 2 * units.GB
+	sys, err := core.NewSystem(opt)
+	if err != nil {
+		panic(err)
+	}
+	if rec != nil {
+		sys.Engine().SetTracer(rec)
+	}
+	sched, err := xfersched.New(sys, xfersched.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	defer sched.Close()
+	p := objstore.DefaultParams()
+	p.Coalesce = k
+	g := objstore.NewGateway(sched, p, core.Forward)
+
+	w := s8Workload(objects)
+	start := sim.Time(sim.Second)
+	idx, err := g.Put(start, w.Generate())
+	if err != nil {
+		panic(err)
+	}
+	if !g.RunToCompletion(600 * sim.Second) {
+		panic(fmt.Sprintf("S8: k=%d burst did not drain", k))
+	}
+	if err := g.AuditExactlyOnce(); err != nil {
+		panic(fmt.Sprintf("S8: %v", err))
+	}
+	var last sim.Time
+	for _, i := range idx {
+		if at := g.DoneAt(i); at > last {
+			last = at
+		}
+	}
+	n, bytes := g.ObjectsDone()
+	if n != objects {
+		panic(fmt.Sprintf("S8: k=%d delivered %d of %d objects", k, n, objects))
+	}
+	elapsed := float64(last - start)
+	return s8Outcome{
+		elapsed: elapsed,
+		goodput: bytes / elapsed,
+		cpu:     sys.TB.Sender.HostCPUReport().Total,
+		windows: g.Windows,
+		lookups: g.Lookups,
+		scans:   g.Scans,
+	}
+}
+
+// s8Baseline moves the same payload as one large file through the same
+// scheduler — the bulk-transfer regime the paper's testbed was tuned for,
+// and the yardstick the small-file cells are measured against.
+func s8Baseline(bytes float64) s8Outcome {
+	opt := core.DefaultOptions()
+	opt.DatasetSize = 2 * units.GB
+	sys, err := core.NewSystem(opt)
+	if err != nil {
+		panic(err)
+	}
+	sched, err := xfersched.New(sys, xfersched.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	defer sched.Close()
+	j, err := sched.Submit(xfersched.JobSpec{
+		ID: "bulk", Tenant: "tenant-00", Protocol: xfersched.ProtoRFTP,
+		Bytes: int64(bytes), Files: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if !sched.RunToCompletion(600 * sim.Second) {
+		panic("S8: bulk baseline did not finish")
+	}
+	elapsed := float64(j.Finished - j.Submitted)
+	return s8Outcome{
+		elapsed: elapsed,
+		goodput: bytes / elapsed,
+		cpu:     sys.TB.Sender.HostCPUReport().Total,
+		windows: 1,
+	}
+}
+
+// s8Cluster runs the burst through the 16-host cluster gateway and returns
+// submitted jobs, delivered objects and the drain time.
+func s8Cluster(objects, k int) (jobs, done int, elapsed float64) {
+	eng := sim.NewEngine()
+	c, err := cluster.New(eng, cluster.Config{Hosts: 16, Shards: 4, DropPct: 5, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	c.AddTenants(4)
+	p := objstore.DefaultParams()
+	p.Coalesce = k
+	g := objstore.NewClusterGateway(c, p)
+	w := s8Workload(objects)
+	w.Tenants = 4
+	all := w.Generate()
+	per := len(all) / 4
+	for tenant := 0; tenant < 4; tenant++ {
+		at := sim.Time(sim.Duration(1+tenant) * sim.Second)
+		if _, err := g.Put(at, tenant, all[tenant*per:(tenant+1)*per]); err != nil {
+			panic(err)
+		}
+	}
+	c.Run()
+	if err := g.AuditExactlyOnce(); err != nil {
+		panic(fmt.Sprintf("S8: cluster k=%d: %v", k, err))
+	}
+	done, _ = g.ObjectsDone()
+	return g.Windows, done, float64(eng.Now())
+}
+
+// ObjectGateway is the small-file regime: the bulk-transfer testbed meets
+// an object-storage workload of thousands of KB-scale PUTs, where session
+// handshakes and per-object metadata lookups — not wire bandwidth — govern
+// goodput. The sweep turns the coalescing knob from per-object (every PUT
+// pays its own rftp session and point lookup) to aggressive (adjacent PUTs
+// share one delimited stream window and one amortized index scan), and
+// gates on coalesced goodput ≥5× per-object at equal payload, with the
+// exactly-once audit and a bit-identical replay on the gated cell.
+func ObjectGateway() Result {
+	const objects = 1024
+	ks := []int{1, 16, 256, 4096}
+
+	totalBytes := 0.0
+	for _, o := range s8Workload(objects).Generate() {
+		totalBytes += float64(o.Size)
+	}
+	base := s8Baseline(totalBytes)
+
+	outs := make(map[int]s8Outcome)
+	for _, k := range ks {
+		outs[k] = s8Run(objects, k, nil)
+	}
+
+	// Gates: the coalescing claim, the window arithmetic, the CPU gap.
+	per, co := outs[1], outs[256]
+	if co.goodput < 5*per.goodput {
+		panic(fmt.Sprintf("S8: coalesced goodput %.3g only %.1f× per-object %.3g — gate is ≥5×",
+			co.goodput, co.goodput/per.goodput, per.goodput))
+	}
+	if per.windows != objects || per.lookups != objects || per.scans != 0 {
+		panic(fmt.Sprintf("S8: per-object cell shape wrong: windows=%d lookups=%d scans=%d",
+			per.windows, per.lookups, per.scans))
+	}
+	if co.windows >= per.windows/8 || co.scans == 0 {
+		panic(fmt.Sprintf("S8: k=256 submitted %d windows (%d scans) — coalescing dead",
+			co.windows, co.scans))
+	}
+	if per.cpu <= co.cpu {
+		panic(fmt.Sprintf("S8: per-object CPU %.3fs not above coalesced %.3fs — overhead model dead",
+			per.cpu, co.cpu))
+	}
+
+	// Replay: the gated cell twice under a recording tracer, bit-identical.
+	rec1, rec2 := &trace.Recorder{}, &trace.Recorder{}
+	s8Run(objects, 256, rec1)
+	s8Run(objects, 256, rec2)
+	if len(rec1.Events) == 0 || !reflect.DeepEqual(rec1.Events, rec2.Events) {
+		panic(fmt.Sprintf("S8: replayed k=256 cell diverged (%d vs %d events)",
+			len(rec1.Events), len(rec2.Events)))
+	}
+
+	// Cluster mode: same burst over 16 hosts; coalescing must collapse the
+	// job count well below the object count while the audit still holds.
+	clJobsPer, clDonePer, _ := s8Cluster(512, 1)
+	clJobsCo, clDoneCo, _ := s8Cluster(512, 64)
+	if clDonePer != 512 || clDoneCo != 512 {
+		panic(fmt.Sprintf("S8: cluster delivered %d/%d of 512", clDonePer, clDoneCo))
+	}
+	if clJobsPer != 512 || clJobsCo*4 > clJobsPer {
+		panic(fmt.Sprintf("S8: cluster job counts %d/%d — coalescing dead at scale", clJobsPer, clJobsCo))
+	}
+
+	tbl := metrics.Table{
+		Title: fmt.Sprintf("Object gateway, single pair: %d×24 KB PUTs (%s) vs one bulk file",
+			objects, units.FormatBytes(int64(totalBytes))),
+		Headers: []string{"cell", "windows", "lookups", "scans", "elapsed", "goodput", "vs bulk", "front CPU"},
+	}
+	tbl.AddRow("bulk file", "1", "—", "—",
+		fmt.Sprintf("%.3fs", base.elapsed), units.FormatRate(base.goodput), "100%",
+		fmt.Sprintf("%.3fs", base.cpu))
+	for _, k := range ks {
+		o := outs[k]
+		tbl.AddRow(fmt.Sprintf("objects, K=%d", k),
+			fmt.Sprintf("%d", o.windows), fmt.Sprintf("%d", o.lookups), fmt.Sprintf("%d", o.scans),
+			fmt.Sprintf("%.3fs", o.elapsed), units.FormatRate(o.goodput),
+			fmt.Sprintf("%.1f%%", 100*o.goodput/base.goodput),
+			fmt.Sprintf("%.3fs", o.cpu))
+	}
+
+	clTbl := metrics.Table{
+		Title:   "Object gateway, 16-host cluster: 512×24 KB PUTs from 4 tenants (5% control drop)",
+		Headers: []string{"cell", "jobs", "objects", "delivered"},
+	}
+	clTbl.AddRow("per-object (K=1)", fmt.Sprintf("%d", clJobsPer), "512", fmt.Sprintf("%d", clDonePer))
+	clTbl.AddRow("coalesced (K=64)", fmt.Sprintf("%d", clJobsCo), "512", fmt.Sprintf("%d", clDoneCo))
+
+	good := metrics.Series{Name: "goodput-vs-coalesce-K"}
+	for i, k := range ks {
+		good.Add(float64(i), outs[k].goodput/1e9)
+	}
+
+	return Result{
+		ID:     "S8",
+		Title:  "Object gateway: coalescing the small-file regime",
+		Tables: []metrics.Table{tbl, clTbl},
+		Series: []metrics.Series{good},
+		Chart:  &chart.Options{XLabel: "coalesce knob (0→K=1, 1→16, 2→256, 3→4096)", YLabel: "goodput GB/s"},
+		Notes: []string{
+			fmt.Sprintf("per-object mode reaches %.1f%% of bulk goodput: every 24 KB PUT pays a session handshake (~0.33 ms) and a point metadata lookup, so the wire idles while the control plane grinds",
+				100*per.goodput/base.goodput),
+			fmt.Sprintf("K=256 coalescing recovers %.1f× over per-object (gate ≥5×): %d windows and %d amortized index scans replace %d sessions and %d point lookups",
+				co.goodput/per.goodput, co.windows, co.scans, per.windows, per.lookups),
+			fmt.Sprintf("front-end CPU drops from %.3f to %.3f core-seconds at equal payload — batching the metadata path is where the CPU gap closes",
+				per.cpu, co.cpu),
+			fmt.Sprintf("cluster mode: coalescing submits %d jobs for 512 objects (per-object: %d) across 16 hosts with lossy control, and the exactly-once audit holds in both cells",
+				clJobsCo, clJobsPer),
+			"every cell passes the per-PUT exactly-once audit, and the gated K=256 cell replayed with the same seed produces a bit-identical event trace",
+		},
+	}
+}

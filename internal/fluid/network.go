@@ -204,8 +204,9 @@ type Network struct {
 	snapRes     []*Resource
 	snapCap     []float64
 
-	stats  SolverStats
-	legacy bool
+	stats   SolverStats
+	legacy  bool
+	removed int // retired-resource count; keys unique negative indices
 }
 
 // NewNetwork returns an empty network.
@@ -251,6 +252,15 @@ func (n *Network) SetMembers(f *Flow, members int) {
 	f.members = members
 }
 
+// Registered reports whether f is currently part of the network. A flow
+// detached by its last member's completion stays false until re-created;
+// callers pooling jobs onto shared flows must check before joining, because
+// an unregistered flow is invisible to the solver and never earns a rate.
+func (n *Network) Registered(f *Flow) bool {
+	i := f.index
+	return i >= 0 && i < len(n.flows) && n.flows[i] == f
+}
+
 // RemoveFlow unregisters a flow. Its last solved rate becomes zero.
 func (n *Network) RemoveFlow(f *Flow) {
 	i := f.index
@@ -266,6 +276,36 @@ func (n *Network) RemoveFlow(f *Flow) {
 	f.index = -1
 	f.rate = 0
 	f.memberRate = 0
+}
+
+// RemoveResource unregisters a resource that no registered flow crosses
+// any more — per-session state (thread limiters, for one) that would
+// otherwise accumulate forever and drag every structural solve, which
+// scans all resources, toward quadratic cost under small-job churn.
+// Accumulated usage accounting survives: the resource keeps a unique
+// (negative) index so usage reports stay deterministically ordered.
+// Removing a resource still in use is a caller bug and panics.
+func (n *Network) RemoveResource(r *Resource) {
+	i := r.index
+	if i < 0 || i >= len(n.resources) || n.resources[i] != r {
+		return // already removed, or foreign resource
+	}
+	for _, f := range n.flows {
+		for _, u := range f.Uses {
+			if u.Resource == r {
+				panic(fmt.Sprintf("fluid: removing resource %s still used by flow %s", r.Name, f.Name))
+			}
+		}
+	}
+	copy(n.resources[i:], n.resources[i+1:])
+	n.resources[len(n.resources)-1] = nil
+	n.resources = n.resources[:len(n.resources)-1]
+	for j := i; j < len(n.resources); j++ {
+		n.resources[j].index = j
+	}
+	n.removed++
+	r.index = -1 - n.removed
+	r.load = 0
 }
 
 // Flows returns the registered flows (shared slice; do not mutate).

@@ -145,6 +145,12 @@ func (s *Sim) AddResource(name string, capacity float64) *Resource {
 	return s.Network.AddResource(name, capacity)
 }
 
+// RemoveResource retires a resource no registered flow crosses any more.
+// Accumulated usage accounting for it is preserved.
+func (s *Sim) RemoveResource(r *Resource) {
+	s.Network.RemoveResource(r)
+}
+
 // SetDemand changes a flow's demand cap and re-solves.
 func (s *Sim) SetDemand(f *Flow, demand float64) {
 	if demand < 0 || math.IsNaN(demand) {

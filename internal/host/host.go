@@ -115,6 +115,24 @@ func (p *Process) NewThread() *Thread {
 	return t
 }
 
+// Release retires the thread's virtual limiter resource from the fluid
+// network. Call it when the thread's owning session is torn down and no
+// flow will ever charge this thread again: limiters are per-session
+// state, and a workload that opens thousands of short sessions would
+// otherwise grow the network — and every structural solve over it —
+// without bound. Accumulated CPU accounting is unaffected. Releasing a
+// thread that a registered flow still charges panics in the network.
+func (t *Thread) Release() {
+	t.Proc.Host.Sim.RemoveResource(t.limiter)
+}
+
+// Release retires the limiters of every thread in the process.
+func (p *Process) Release() {
+	for _, t := range p.Threads {
+		t.Release()
+	}
+}
+
 // Pin binds the thread to a specific core (sched_setaffinity); nil unpins
 // it back to the migrating-scheduler model. Pinning only changes where
 // future ChargeCPU calls land — flows already charged keep their old

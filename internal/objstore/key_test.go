@@ -1,0 +1,149 @@
+package objstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateBucket(t *testing.T) {
+	cases := []struct {
+		bucket string
+		ok     bool
+	}{
+		{"abc", true},
+		{"my-bucket", true},
+		{"my.bucket.logs", true},
+		{"bucket-1", true},
+		{"0bucket", true},
+		{strings.Repeat("a", 63), true},
+		{"a1.b2-c3.d4", true},
+
+		{"", false},
+		{"ab", false},                    // too short
+		{strings.Repeat("a", 64), false}, // too long
+		{"Bucket", false},                // uppercase
+		{"-bucket", false},               // leading hyphen
+		{"bucket-", false},               // trailing hyphen
+		{".bucket", false},               // leading dot
+		{"bucket.", false},               // trailing dot
+		{"my..bucket", false},            // empty label
+		{"my.-bucket", false},            // label starts with '-'
+		{"my-.bucket", false},            // label ends with '-'
+		{"my_bucket", false},             // underscore
+		{"bücket", false},                // non-ASCII
+		{"192.168.1.10", false},          // IPv4 shape
+		{"192.168.bucket.10", true},      // dots but not all digits
+		{"1.2.3", true},                  // only 2 dots, not IPv4 shape
+		{"bucket name", false},           // space
+	}
+	for _, c := range cases {
+		err := ValidateBucket(c.bucket)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateBucket(%q) = %v, want ok=%v", c.bucket, err, c.ok)
+		}
+	}
+}
+
+func TestValidateKey(t *testing.T) {
+	cases := []struct {
+		key string
+		ok  bool
+	}{
+		{"a", true},
+		{"data/obj-000001", true},
+		{"deep/nested/path/with/slashes", true},
+		{"spaces are fine", true},
+		{"unicode-日本語", true},
+		{strings.Repeat("k", 1024), true},
+
+		{"", false},
+		{strings.Repeat("k", 1025), false},
+		{"line\nbreak", false},
+		{"tab\tchar", false},
+		{"nul\x00byte", false},
+		{"del\x7fchar", false},
+		{"bad\xffutf8", false},
+	}
+	for _, c := range cases {
+		err := ValidateKey(c.key)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateKey(%q) = %v, want ok=%v", c.key, err, c.ok)
+		}
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	cases := []struct {
+		in          string
+		bucket, key string
+		ok          bool
+	}{
+		{"abc/k", "abc", "k", true},
+		{"my-bucket/data/obj-1", "my-bucket", "data/obj-1", true}, // key keeps later slashes
+		{"abc/trailing/", "abc", "trailing/", true},
+
+		{"", "", "", false},
+		{"no-slash", "", "", false},
+		{"ab/key", "", "", false},  // bucket too short
+		{"abc/", "", "", false},    // empty key
+		{"/key", "", "", false},    // empty bucket
+		{"ABC/key", "", "", false}, // invalid bucket
+		{"abc/\n", "", "", false},  // control char in key
+	}
+	for _, c := range cases {
+		b, k, err := ParseKey(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseKey(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (b != c.bucket || k != c.key) {
+			t.Errorf("ParseKey(%q) = (%q, %q), want (%q, %q)", c.in, b, k, c.bucket, c.key)
+		}
+	}
+}
+
+// TestFormatParseRoundTrip: FormatKey output always re-parses to the same
+// halves for valid names.
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, pair := range [][2]string{
+		{"abc", "k"},
+		{"my-bucket", "data/a/b/c"},
+		{"b.x-1", "日本語/key with spaces"},
+	} {
+		b, k, err := ParseKey(FormatKey(pair[0], pair[1]))
+		if err != nil || b != pair[0] || k != pair[1] {
+			t.Errorf("round trip (%q, %q) = (%q, %q, %v)", pair[0], pair[1], b, k, err)
+		}
+	}
+}
+
+// FuzzParseKey: ParseKey never panics, accepted inputs satisfy the
+// validators, and FormatKey round-trips bit-exactly.
+func FuzzParseKey(f *testing.F) {
+	f.Add("abc/k")
+	f.Add("my-bucket/data/obj-000001")
+	f.Add("192.168.1.10/x")
+	f.Add("a..b/k")
+	f.Add("no-slash")
+	f.Add("abc/\x00")
+	f.Add(strings.Repeat("a", 64) + "/" + strings.Repeat("k", 1025))
+	f.Fuzz(func(t *testing.T, s string) {
+		bucket, key, err := ParseKey(s)
+		if err != nil {
+			return
+		}
+		if err := ValidateBucket(bucket); err != nil {
+			t.Fatalf("ParseKey(%q) accepted invalid bucket %q: %v", s, bucket, err)
+		}
+		if err := ValidateKey(key); err != nil {
+			t.Fatalf("ParseKey(%q) accepted invalid key %q: %v", s, key, err)
+		}
+		if got := FormatKey(bucket, key); got != s {
+			t.Fatalf("FormatKey(ParseKey(%q)) = %q, want identity", s, got)
+		}
+		b2, k2, err := ParseKey(FormatKey(bucket, key))
+		if err != nil || b2 != bucket || k2 != key {
+			t.Fatalf("round trip diverged: (%q, %q, %v)", b2, k2, err)
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package objstore
+
+import "sort"
+
+// Entry is one object's metadata record.
+type Entry struct {
+	Key  string // canonical "bucket/key"
+	Size int64
+}
+
+// Index is the gateway's metadata table: a sorted slice with binary-search
+// lookup and insert. A sorted slice — not a map — because the index is on
+// the simulation's deterministic path and map iteration order is not; it
+// also matches the cost model (an amortized scan over adjacent entries is
+// cheap precisely because neighbors are physically adjacent).
+type Index struct {
+	entries []Entry
+}
+
+// Len reports the number of records.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Put inserts or replaces the record for key.
+func (ix *Index) Put(key string, size int64) {
+	i := sort.Search(len(ix.entries), func(k int) bool { return ix.entries[k].Key >= key })
+	if i < len(ix.entries) && ix.entries[i].Key == key {
+		ix.entries[i].Size = size
+		return
+	}
+	ix.entries = append(ix.entries, Entry{})
+	copy(ix.entries[i+1:], ix.entries[i:])
+	ix.entries[i] = Entry{Key: key, Size: size}
+}
+
+// Lookup finds a record by key.
+func (ix *Index) Lookup(key string) (Entry, bool) {
+	i := sort.Search(len(ix.entries), func(k int) bool { return ix.entries[k].Key >= key })
+	if i < len(ix.entries) && ix.entries[i].Key == key {
+		return ix.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Delete removes a record, reporting whether it existed.
+func (ix *Index) Delete(key string) bool {
+	i := sort.Search(len(ix.entries), func(k int) bool { return ix.entries[k].Key >= key })
+	if i >= len(ix.entries) || ix.entries[i].Key != key {
+		return false
+	}
+	ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
+	return true
+}
+
+// Scan returns the records in [from, to) in key order.
+func (ix *Index) Scan(from, to string) []Entry {
+	lo := sort.Search(len(ix.entries), func(k int) bool { return ix.entries[k].Key >= from })
+	hi := sort.Search(len(ix.entries), func(k int) bool { return ix.entries[k].Key >= to })
+	out := make([]Entry, hi-lo)
+	copy(out, ix.entries[lo:hi])
+	return out
+}

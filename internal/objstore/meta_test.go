@@ -1,0 +1,43 @@
+package objstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIndexOps(t *testing.T) {
+	var ix Index
+	if _, ok := ix.Lookup("abc/k"); ok {
+		t.Fatal("lookup in empty index succeeded")
+	}
+	// Insert out of order; index keeps key order.
+	for _, i := range []int{5, 1, 9, 3, 7, 0, 8, 2, 6, 4} {
+		ix.Put(fmt.Sprintf("abc/k%d", i), int64(i))
+	}
+	if ix.Len() != 10 {
+		t.Fatalf("len = %d, want 10", ix.Len())
+	}
+	for i := 0; i < 10; i++ {
+		e, ok := ix.Lookup(fmt.Sprintf("abc/k%d", i))
+		if !ok || e.Size != int64(i) {
+			t.Fatalf("lookup k%d = (%v, %v)", i, e, ok)
+		}
+	}
+	// Replace keeps the count.
+	ix.Put("abc/k5", 500)
+	if e, _ := ix.Lookup("abc/k5"); e.Size != 500 || ix.Len() != 10 {
+		t.Fatalf("replace: size=%d len=%d", e.Size, ix.Len())
+	}
+	// Scan a half-open range.
+	got := ix.Scan("abc/k3", "abc/k6")
+	if len(got) != 3 || got[0].Key != "abc/k3" || got[2].Key != "abc/k5" {
+		t.Fatalf("scan = %v", got)
+	}
+	// Delete.
+	if !ix.Delete("abc/k3") || ix.Delete("abc/k3") {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := ix.Lookup("abc/k3"); ok || ix.Len() != 9 {
+		t.Fatal("delete did not remove the record")
+	}
+}

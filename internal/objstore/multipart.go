@@ -1,0 +1,164 @@
+package objstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"e2edt/internal/units"
+)
+
+// Multipart upload limits, S3-compatible.
+const (
+	// MinPartSize is the floor every part except the last must meet.
+	MinPartSize = 5 * units.MB
+	// MaxParts bounds part numbers.
+	MaxParts = 10000
+)
+
+// UploadState is a multipart upload's lifecycle position.
+type UploadState int
+
+const (
+	// UploadActive accepts parts.
+	UploadActive UploadState = iota
+	// UploadCompleted has been assembled into one object.
+	UploadCompleted
+	// UploadAborted was cancelled; its parts are discarded.
+	UploadAborted
+)
+
+// String names the state.
+func (s UploadState) String() string {
+	switch s {
+	case UploadActive:
+		return "active"
+	case UploadCompleted:
+		return "completed"
+	default:
+		return "aborted"
+	}
+}
+
+// Upload is one multipart upload's state machine: initiate (NewUpload),
+// upload parts in any order with re-upload-replaces semantics, then
+// Complete — which validates part contiguity and minimum sizes and yields
+// the assembled object size — or Abort.
+type Upload struct {
+	Bucket, Key string
+
+	state UploadState
+	parts []int64 // parts[n-1] = size of part n; -1 = missing
+}
+
+// NewUpload initiates a multipart upload after validating the target name.
+func NewUpload(bucket, key string) (*Upload, error) {
+	if err := ValidateBucket(bucket); err != nil {
+		return nil, err
+	}
+	if err := ValidateKey(key); err != nil {
+		return nil, err
+	}
+	return &Upload{Bucket: bucket, Key: key}, nil
+}
+
+// State returns the upload's lifecycle position.
+func (u *Upload) State() UploadState { return u.state }
+
+// UploadPart records part n (1-based). Re-uploading a part number replaces
+// it. Zero-size parts are legal on the wire here and rejected only at
+// Complete, where the contiguity rules decide what they may be.
+func (u *Upload) UploadPart(n int, size int64) error {
+	if u.state != UploadActive {
+		return fmt.Errorf("objstore: upload %s/%s is %s", u.Bucket, u.Key, u.state)
+	}
+	if n < 1 || n > MaxParts {
+		return fmt.Errorf("objstore: part number %d out of range [1, %d]", n, MaxParts)
+	}
+	if size < 0 {
+		return fmt.Errorf("objstore: part %d has negative size", n)
+	}
+	for len(u.parts) < n {
+		u.parts = append(u.parts, -1)
+	}
+	u.parts[n-1] = size
+	return nil
+}
+
+// Parts returns how many parts have been uploaded.
+func (u *Upload) Parts() int {
+	n := 0
+	for _, p := range u.parts {
+		if p >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Complete assembles the upload: parts must be contiguous from 1 with no
+// gaps, and every part except the last must be at least MinPartSize. On
+// success the upload is finalized and the object's total size returned.
+// A single empty part is legal — it assembles the empty object.
+func (u *Upload) Complete() (int64, error) {
+	if u.state != UploadActive {
+		return 0, fmt.Errorf("objstore: upload %s/%s is %s", u.Bucket, u.Key, u.state)
+	}
+	if len(u.parts) == 0 {
+		return 0, fmt.Errorf("objstore: upload %s/%s has no parts", u.Bucket, u.Key)
+	}
+	total := int64(0)
+	for i, p := range u.parts {
+		if p < 0 {
+			return 0, fmt.Errorf("objstore: upload %s/%s missing part %d", u.Bucket, u.Key, i+1)
+		}
+		if i < len(u.parts)-1 && p < MinPartSize {
+			return 0, fmt.Errorf("objstore: part %d is %d bytes, below the %d-byte floor (only the last part may be smaller)",
+				i+1, p, MinPartSize)
+		}
+		total += p
+	}
+	u.state = UploadCompleted
+	return total, nil
+}
+
+// Abort cancels an active upload.
+func (u *Upload) Abort() error {
+	if u.state != UploadActive {
+		return fmt.Errorf("objstore: upload %s/%s is %s", u.Bucket, u.Key, u.state)
+	}
+	u.state = UploadAborted
+	return nil
+}
+
+// ParsePartList parses a comma-separated "n:size" part manifest (e.g.
+// "1:5242880,2:5242880,3:1024"), the CLI's multipart shorthand. Sizes
+// accept the block-size suffixes (5M, 24K, ...).
+func ParsePartList(s string) (nums []int, sizes []int64, err error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil, fmt.Errorf("objstore: empty part list")
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		i := strings.IndexByte(field, ':')
+		if i < 0 {
+			return nil, nil, fmt.Errorf("objstore: part %q: want n:size", field)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(field[:i]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("objstore: part number %q: %v", field[:i], err)
+		}
+		var size int64
+		if raw := strings.TrimSpace(field[i+1:]); raw == "0" {
+			size = 0 // ParseBlockSize rejects 0, but empty parts are legal here
+		} else {
+			size, err = units.ParseBlockSize(raw)
+			if err != nil {
+				return nil, nil, fmt.Errorf("objstore: part size %q: %v", raw, err)
+			}
+		}
+		nums = append(nums, n)
+		sizes = append(sizes, size)
+	}
+	return nums, sizes, nil
+}

@@ -1,0 +1,145 @@
+package objstore
+
+import (
+	"testing"
+
+	"e2edt/internal/units"
+)
+
+func TestUploadLifecycle(t *testing.T) {
+	u, err := NewUpload("abc", "big/object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.State() != UploadActive {
+		t.Fatalf("state = %v, want active", u.State())
+	}
+	// Out-of-order upload, then a replacement.
+	if err := u.UploadPart(2, MinPartSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.UploadPart(1, MinPartSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.UploadPart(3, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.UploadPart(1, 2*MinPartSize); err != nil {
+		t.Fatal(err)
+	}
+	if u.Parts() != 3 {
+		t.Fatalf("parts = %d, want 3", u.Parts())
+	}
+	total, err := u.Complete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3*MinPartSize + 1024; total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+	if u.State() != UploadCompleted {
+		t.Fatalf("state = %v, want completed", u.State())
+	}
+	// Terminal states reject further operations.
+	if err := u.UploadPart(4, MinPartSize); err == nil {
+		t.Fatal("UploadPart after Complete accepted")
+	}
+	if _, err := u.Complete(); err == nil {
+		t.Fatal("double Complete accepted")
+	}
+	if err := u.Abort(); err == nil {
+		t.Fatal("Abort after Complete accepted")
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	if _, err := NewUpload("AB", "k"); err == nil {
+		t.Fatal("invalid bucket accepted")
+	}
+	if _, err := NewUpload("abc", ""); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	u, _ := NewUpload("abc", "k")
+	cases := []struct {
+		n    int
+		size int64
+		ok   bool
+	}{
+		{0, 1, false},
+		{-1, 1, false},
+		{MaxParts + 1, 1, false},
+		{1, -1, false},
+		{1, 0, true}, // zero-size parts legal at upload time
+		{MaxParts, 1, true},
+	}
+	for _, c := range cases {
+		err := u.UploadPart(c.n, c.size)
+		if (err == nil) != c.ok {
+			t.Errorf("UploadPart(%d, %d) = %v, want ok=%v", c.n, c.size, err, c.ok)
+		}
+	}
+}
+
+func TestCompleteRules(t *testing.T) {
+	// No parts at all.
+	u, _ := NewUpload("abc", "k")
+	if _, err := u.Complete(); err == nil {
+		t.Fatal("Complete with no parts accepted")
+	}
+	// Gap: parts 1 and 3 without 2.
+	u, _ = NewUpload("abc", "k")
+	u.UploadPart(1, MinPartSize)
+	u.UploadPart(3, 100)
+	if _, err := u.Complete(); err == nil {
+		t.Fatal("Complete with missing part accepted")
+	}
+	// Undersized non-final part.
+	u, _ = NewUpload("abc", "k")
+	u.UploadPart(1, MinPartSize-1)
+	u.UploadPart(2, 100)
+	if _, err := u.Complete(); err == nil {
+		t.Fatal("undersized non-final part accepted")
+	}
+	// Single small part is exempt from the floor.
+	u, _ = NewUpload("abc", "k")
+	u.UploadPart(1, 42)
+	if total, err := u.Complete(); err != nil || total != 42 {
+		t.Fatalf("single small part: (%d, %v)", total, err)
+	}
+	// Single empty part assembles the empty object.
+	u, _ = NewUpload("abc", "k")
+	u.UploadPart(1, 0)
+	if total, err := u.Complete(); err != nil || total != 0 {
+		t.Fatalf("single empty part: (%d, %v)", total, err)
+	}
+	// Abort, then everything is rejected.
+	u, _ = NewUpload("abc", "k")
+	u.UploadPart(1, MinPartSize)
+	if err := u.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Complete(); err == nil {
+		t.Fatal("Complete after Abort accepted")
+	}
+}
+
+func TestParsePartList(t *testing.T) {
+	nums, sizes, err := ParsePartList("1:5M, 2:5M ,3:1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nums) != 3 || nums[0] != 1 || nums[2] != 3 {
+		t.Fatalf("nums = %v", nums)
+	}
+	if sizes[0] != 5*units.MB || sizes[2] != 1024 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if _, sizes, err := ParsePartList("1:0"); err != nil || sizes[0] != 0 {
+		t.Fatalf("zero-size part: (%v, %v)", sizes, err)
+	}
+	for _, bad := range []string{"", "1", "x:5M", "1:xyz", "1:-5"} {
+		if _, _, err := ParsePartList(bad); err == nil {
+			t.Errorf("ParsePartList(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package objstore
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload shapes a deterministic small-object PUT stream.
+type Workload struct {
+	// Objects is the PUT count.
+	Objects int
+	// Tenants spreads objects over this many tenants, in runs of Run
+	// adjacent objects per tenant (gateway requests arrive batched per
+	// client connection, which is what gives coalescing its adjacency).
+	Tenants int
+	// Run is the adjacency run length; 0 selects 32.
+	Run int
+	// MinBytes and MaxBytes bound the uniform object-size draw.
+	MinBytes, MaxBytes int64
+	// ZeroEvery makes every Nth object empty (0 = no empty objects):
+	// zero-length markers, lock files and directory placeholders are real
+	// S3 traffic.
+	ZeroEvery int
+	// Seed feeds the size draws; all randomness is consumed before the
+	// simulation starts, in index order.
+	Seed int64
+}
+
+// DefaultWorkload is the S8 small-file shape: 24 KB objects from 8
+// tenants, one empty marker object per 100.
+func DefaultWorkload() Workload {
+	return Workload{
+		Objects:   1024,
+		Tenants:   8,
+		MinBytes:  16 << 10,
+		MaxBytes:  32 << 10,
+		ZeroEvery: 100,
+		Seed:      1,
+	}
+}
+
+// Generate materializes the PUT stream. Same Workload → same stream,
+// bit for bit.
+func (w Workload) Generate() []PutSpec {
+	if w.Objects <= 0 {
+		return nil
+	}
+	tenants := w.Tenants
+	if tenants <= 0 {
+		tenants = 1
+	}
+	run := w.Run
+	if run <= 0 {
+		run = 32
+	}
+	lo, hi := w.MinBytes, w.MaxBytes
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	objs := make([]PutSpec, w.Objects)
+	for i := range objs {
+		t := (i / run) % tenants
+		size := lo
+		if hi > lo {
+			size = lo + rng.Int63n(hi-lo+1)
+		}
+		if w.ZeroEvery > 0 && (i+1)%w.ZeroEvery == 0 {
+			size = 0
+		}
+		objs[i] = PutSpec{
+			Tenant: fmt.Sprintf("tenant-%02d", t),
+			Bucket: fmt.Sprintf("tenant-%02d", t),
+			Key:    fmt.Sprintf("data/obj-%06d", i),
+			Size:   size,
+		}
+	}
+	return objs
+}

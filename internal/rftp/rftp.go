@@ -56,6 +56,10 @@ type Params struct {
 	PerBlockCycles float64
 	// CtrlBytesPerBlock is control-channel traffic per data block.
 	CtrlBytesPerBlock float64
+	// DelimBytesPerObject is the in-band framing cost of one object record
+	// inside a coalesced batch window (length prefix plus trailer); zero
+	// selects 64 bytes. Only batch windows (StartBatch) charge it.
+	DelimBytesPerObject float64
 	// HandshakeRTTs is how many round trips session setup takes.
 	HandshakeRTTs int
 	// ChecksumCyclesPerByte is the per-side cost of end-to-end integrity
@@ -353,6 +357,7 @@ type Transfer struct {
 	ticker       *sim.Ticker
 	failed       bool
 	stopped      bool
+	released     bool
 }
 
 // Start launches an RFTP transfer of size bytes (math.Inf(1) for an
@@ -690,8 +695,34 @@ func (t *Transfer) finish(now sim.Time) {
 	if t.mgr != nil {
 		t.mgr.Stop()
 	}
+	t.releaseEndpoints()
 	if t.OnComplete != nil {
 		t.OnComplete(now)
+	}
+}
+
+// releaseEndpoints retires the session's per-thread limiter resources from
+// the fluid network once no flow can ever charge them again (after finish,
+// fail or Stop — all stream flows are gone by then). Sessions under the
+// adaptive placer keep their threads: the placer still holds the endpoint
+// entities and may re-derive charges from them. Without this, a small-file
+// workload opening thousands of short sessions grows the network's
+// resource list without bound and every structural solve scans all of it.
+func (t *Transfer) releaseEndpoints() {
+	if t.released || t.placer() != nil {
+		return
+	}
+	t.released = true
+	for _, st := range t.streams {
+		for _, ep := range st.eps {
+			if ep == nil {
+				continue
+			}
+			ep.snd.net.Release()
+			ep.snd.io.Release()
+			ep.rcv.net.Release()
+			ep.rcv.io.Release()
+		}
 	}
 }
 
@@ -1129,6 +1160,7 @@ func (t *Transfer) fail(now sim.Time) {
 	}
 	t.failed = true
 	t.teardown()
+	t.releaseEndpoints()
 	t.eng.Tracef("rftp", "transfer failed: recovery exhausted")
 	if t.OnFailure != nil {
 		t.OnFailure(now)
@@ -1156,6 +1188,12 @@ func (t *Transfer) teardown() {
 		t.untrack(s.transfer)
 		if s.transfer.Active() {
 			t.sim.Cancel(s.transfer)
+		} else if s.transfer != nil {
+			// A session stopped mid-handshake holds built-but-never-started
+			// stream transfers: their flows are registered but not active, so
+			// Cancel above never detaches them. Remove them directly (no-op
+			// for flows already detached by completion or loss declaration).
+			t.sim.Network.RemoveFlow(s.transfer.Flow)
 		}
 	}
 }
@@ -1290,6 +1328,7 @@ func (t *Transfer) MigrationLatencies() []sim.Duration {
 func (t *Transfer) Stop() {
 	t.stopped = true
 	t.teardown()
+	t.releaseEndpoints()
 }
 
 // Streams returns the per-stream current rates, for diagnostics.

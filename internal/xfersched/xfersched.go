@@ -110,11 +110,23 @@ type JobSpec struct {
 	Protocol Protocol
 	// Dir is the transfer direction across the front-end fabric.
 	Dir core.Direction
-	// Bytes is the dataset size.
+	// Bytes is the dataset size. Zero is legal (an empty object's job):
+	// the job completes at admission without touching the wire.
 	Bytes int64
 	// Files is the dataset's file count (granularity metadata carried into
 	// reports; the transfer itself moves the aggregate byte stream).
 	Files int
+	// Objects, when non-empty, makes this a coalesced object-batch job
+	// (RFTP only): the window moves every object over one session with
+	// in-band delimiting and exactly-once per-object completion. Bytes is
+	// derived from the object sizes; zero-size objects are legal. Batch
+	// jobs hold a fixed stream count (like GridFTP jobs, they are not
+	// rebalanced — a restart would discard partial-object progress), and
+	// retries resume from the undelivered object set.
+	Objects []rftp.ObjectSpec
+	// OnObject observes per-object completions of a batch job, exactly
+	// once per object index across all attempts.
+	OnObject func(i int, now sim.Time)
 	// Priority orders the queue; higher runs first.
 	Priority int
 	// Deadline is a relative completion target (0 = none). Missing it is
@@ -157,7 +169,29 @@ type Job struct {
 	lastProgress   float64
 	lastProgressAt sim.Time
 	backoff        *sim.Timer
+
+	// Batch-job object ledger: which object indices have been delivered
+	// (exactly-once across attempts) and how many.
+	objDone      []bool
+	objDoneCount int
 }
+
+// isBatch reports whether the job is a coalesced object window.
+func (j *Job) isBatch() bool { return len(j.Spec.Objects) > 0 }
+
+// workDone reports whether the job's payload is fully delivered: every
+// object for a batch job, every byte otherwise. The byte test alone would
+// misread a batch of zero-size objects as finished before it ran.
+func (j *Job) workDone() bool {
+	if j.isBatch() {
+		return j.objDoneCount == len(j.Spec.Objects)
+	}
+	return float64(j.Spec.Bytes)-j.moved < 1
+}
+
+// ObjectsDone returns how many of a batch job's objects have been
+// delivered (zero for plain jobs).
+func (j *Job) ObjectsDone() int { return j.objDoneCount }
 
 // Moved returns bytes delivered so far across all attempts.
 func (j *Job) Moved() float64 { return j.moved }
@@ -271,6 +305,14 @@ type Config struct {
 	CheckEvery sim.Duration
 	// StallAfter is the no-progress span that declares a job stalled.
 	StallAfter sim.Duration
+	// MinStallGrace floors every attempt's stall budget. StallAfter was
+	// tuned for multi-second transfers; when an experiment shrinks it to
+	// chase sub-millisecond object jobs, the watchdog must still grant at
+	// least the session setup time (handshake RTTs) before declaring a
+	// stall, or tiny jobs are requeued while legitimately handshaking.
+	// Zero selects an automatic floor: twice the handshake span on the
+	// slowest front link plus one CheckEvery.
+	MinStallGrace sim.Duration
 	// RetryBase and RetryMax bound the exponential backoff between retry
 	// attempts (base × 2^(retries−1), capped).
 	RetryBase, RetryMax sim.Duration
@@ -342,6 +384,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("xfersched: MaxAttempts must be positive")
 	case c.SuspectDecay < 0 || c.SuspectDecay > 1:
 		return fmt.Errorf("xfersched: SuspectDecay must be in [0, 1]")
+	case c.MinStallGrace < 0:
+		return fmt.Errorf("xfersched: MinStallGrace must not be negative")
 	}
 	return nil
 }
@@ -355,13 +399,15 @@ type Scheduler struct {
 	tenants  []*Tenant
 	byTenant map[string]*Tenant
 
-	queue   []*Job
+	queue   []*Job // always sorted by jobBefore (maintained on insert)
 	running []*Job
 	jobs    []*Job // every submitted job, submission order
+	byID    map[string]*Job
 
 	reserved       float64
 	pendingSubmits int
 	watchdog       *sim.Ticker
+	minGrace       sim.Duration // resolved MinStallGrace floor
 
 	// WaitHist collects admission waits (seconds) for quantile reporting.
 	WaitHist *metrics.Histogram
@@ -391,7 +437,19 @@ func New(sys *core.System, cfg Config) (*Scheduler, error) {
 		Sys: sys, Cfg: cfg,
 		eng:      sys.Engine(),
 		byTenant: make(map[string]*Tenant),
+		byID:     make(map[string]*Job),
 		WaitHist: metrics.NewHistogram(1e-3),
+	}
+	s.minGrace = cfg.MinStallGrace
+	if s.minGrace <= 0 {
+		var rtt sim.Duration
+		for _, l := range sys.TB.FrontLinks {
+			if l.Cfg.RTT > rtt {
+				rtt = l.Cfg.RTT
+			}
+		}
+		hs := sim.Duration(cfg.RFTPParams.HandshakeRTTs) * rtt
+		s.minGrace = 2*hs + cfg.CheckEvery
 	}
 	s.watchdog = s.eng.NewTicker(cfg.CheckEvery, s.check)
 	return s, nil
@@ -426,21 +484,36 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if spec.ID == "" {
 		return nil, fmt.Errorf("xfersched: job needs an ID")
 	}
-	if spec.Bytes <= 0 {
-		return nil, fmt.Errorf("xfersched: job %s needs positive Bytes", spec.ID)
-	}
-	for _, j := range s.jobs {
-		if j.Spec.ID == spec.ID {
-			return nil, fmt.Errorf("xfersched: duplicate job ID %q", spec.ID)
+	if len(spec.Objects) > 0 {
+		if spec.Protocol != ProtoRFTP {
+			return nil, fmt.Errorf("xfersched: batch job %s must use RFTP", spec.ID)
 		}
+		total := int64(0)
+		for _, o := range spec.Objects {
+			if o.Size < 0 {
+				return nil, fmt.Errorf("xfersched: job %s object %q has negative size", spec.ID, o.Key)
+			}
+			total += o.Size
+		}
+		spec.Bytes = total
+		if spec.Files == 0 {
+			spec.Files = len(spec.Objects)
+		}
+	}
+	if spec.Bytes < 0 {
+		return nil, fmt.Errorf("xfersched: job %s needs non-negative Bytes", spec.ID)
+	}
+	if _, dup := s.byID[spec.ID]; dup {
+		return nil, fmt.Errorf("xfersched: duplicate job ID %q", spec.ID)
 	}
 	s.tenant(spec.Tenant)
 	j := &Job{Spec: spec, State: StateQueued, Submitted: s.eng.Now()}
-	s.jobs = append(s.jobs, j)
-	s.queue = append(s.queue, j)
-	if len(s.queue) > s.MaxQueueLen {
-		s.MaxQueueLen = len(s.queue)
+	if j.isBatch() {
+		j.objDone = make([]bool, len(spec.Objects))
 	}
+	s.jobs = append(s.jobs, j)
+	s.byID[spec.ID] = j
+	s.insertQueued(j)
 	s.schedule(s.eng.Now())
 	return j, nil
 }
@@ -528,28 +601,41 @@ func deadlineKey(j *Job) sim.Time {
 	return j.Submitted + sim.Time(j.Spec.Deadline)
 }
 
-// sortQueue imposes the admission order: priority desc, earliest deadline,
-// FIFO, then ID — a total order, for determinism.
-func (s *Scheduler) sortQueue() {
-	sort.SliceStable(s.queue, func(a, b int) bool {
-		ja, jb := s.queue[a], s.queue[b]
-		if ja.Spec.Priority != jb.Spec.Priority {
-			return ja.Spec.Priority > jb.Spec.Priority
-		}
-		if da, db := deadlineKey(ja), deadlineKey(jb); da != db {
-			return da < db
-		}
-		if ja.Submitted != jb.Submitted {
-			return ja.Submitted < jb.Submitted
-		}
-		return ja.Spec.ID < jb.Spec.ID
-	})
+// jobBefore is the admission order: priority desc, earliest deadline,
+// FIFO, then ID — a strict total order (IDs are unique), for determinism.
+func jobBefore(a, b *Job) bool {
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	if da, db := deadlineKey(a), deadlineKey(b); da != db {
+		return da < db
+	}
+	if a.Submitted != b.Submitted {
+		return a.Submitted < b.Submitted
+	}
+	return a.Spec.ID < b.Spec.ID
+}
+
+// insertQueued places j at its ordered position in the admission queue
+// (binary search + shift). Every ordering key is immutable once submitted,
+// so the queue stays sorted and admission pops the head without a per-pass
+// full sort — the former sort-per-pass was quadratic against the
+// 10k-tiny-object backlogs the objstore gateway produces. The resulting
+// pop order is identical to the old stable sort's: jobBefore is a strict
+// total order.
+func (s *Scheduler) insertQueued(j *Job) {
+	i := sort.Search(len(s.queue), func(k int) bool { return jobBefore(j, s.queue[k]) })
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = j
+	if len(s.queue) > s.MaxQueueLen {
+		s.MaxQueueLen = len(s.queue)
+	}
 }
 
 // schedule runs one admission pass and then re-arbitrates stream shares.
 // It is called after every state change.
 func (s *Scheduler) schedule(now sim.Time) {
-	s.sortQueue()
 	for len(s.queue) > 0 {
 		if len(s.running) >= s.Cfg.MaxConcurrent {
 			break
@@ -559,7 +645,13 @@ func (s *Scheduler) schedule(now sim.Time) {
 		}
 		j := s.queue[0]
 		if j.src == nil {
-			src, dst, err := s.Sys.CreateJobFiles(j.Spec.Dir, j.Spec.ID, j.Spec.Bytes)
+			// A zero-byte job still owns a directory entry on each SAN;
+			// fsim rejects empty files, so the stub is one byte.
+			fileBytes := j.Spec.Bytes
+			if fileBytes < 1 {
+				fileBytes = 1
+			}
+			src, dst, err := s.Sys.CreateJobFiles(j.Spec.Dir, j.Spec.ID, fileBytes)
 			if err != nil {
 				// SAN capacity exhausted: hold the whole queue until a
 				// running job frees its files.
@@ -590,7 +682,7 @@ func (s *Scheduler) arbitrate(now sim.Time) {
 	var rftpJobs []*Job
 	perTenant := make(map[string]int)
 	for _, j := range s.running {
-		if j.Spec.Protocol == ProtoRFTP {
+		if j.Spec.Protocol == ProtoRFTP && !j.isBatch() {
 			rftpJobs = append(rftpJobs, j)
 			perTenant[j.Spec.Tenant]++
 		}
@@ -605,9 +697,17 @@ func (s *Scheduler) arbitrate(now sim.Time) {
 		}
 	}
 	// Snapshot: startAttempt can mutate s.running when a job's remaining
-	// bytes round to zero and it finishes immediately.
+	// bytes round to zero and it finishes immediately. Batch jobs run like
+	// GridFTP jobs at a fixed stream count: rebalancing a window mid-flight
+	// would discard partial-object progress for no fair-share gain.
 	for _, j := range append([]*Job(nil), s.running...) {
-		if j.Spec.Protocol == ProtoGridFTP && j.handle == nil && j.State == StateRunning {
+		if j.handle != nil || j.State != StateRunning {
+			continue
+		}
+		switch {
+		case j.isBatch():
+			s.startAttempt(j, s.Cfg.RFTP.Streams, now)
+		case j.Spec.Protocol == ProtoGridFTP:
 			s.startAttempt(j, s.Cfg.GridFTP.Streams, now)
 		}
 	}
@@ -665,11 +765,11 @@ func (s *Scheduler) divideStreams(jobs []*Job, perTenant map[string]int) []int {
 // startAttempt launches a transfer for the job's remaining bytes with the
 // given stream count.
 func (s *Scheduler) startAttempt(j *Job, streams int, now sim.Time) {
-	remaining := float64(j.Spec.Bytes) - j.moved
-	if remaining < 1 {
+	if j.workDone() {
 		s.finish(j, now)
 		return
 	}
+	remaining := float64(j.Spec.Bytes) - j.moved
 	j.streams = streams
 	j.attempt++
 	attempt := j.attempt
@@ -688,8 +788,43 @@ func (s *Scheduler) startAttempt(j *Job, streams int, now sim.Time) {
 		err error
 	)
 	j.stallBudget = s.Cfg.StallAfter
-	switch j.Spec.Protocol {
-	case ProtoRFTP:
+	if j.stallBudget < s.minGrace {
+		j.stallBudget = s.minGrace
+	}
+	switch {
+	case j.isBatch():
+		cfg := s.Cfg.RFTP
+		cfg.Streams = streams
+		p := s.Sys.Opt.Recovery.ApplyRFTP(s.Cfg.RFTPParams)
+		// Resume from the undelivered object set: delivered objects are
+		// never re-sent, in-flight partials from a stalled attempt are.
+		var (
+			objs []rftp.ObjectSpec
+			idx  []int
+		)
+		for g, o := range j.Spec.Objects {
+			if !j.objDone[g] {
+				objs = append(objs, o)
+				idx = append(idx, g)
+			}
+		}
+		onObject := func(i int, t sim.Time) {
+			if j.attempt != attempt {
+				return
+			}
+			g := idx[i]
+			if j.objDone[g] {
+				return
+			}
+			j.objDone[g] = true
+			j.objDoneCount++
+			j.moved += float64(j.Spec.Objects[g].Size)
+			if j.Spec.OnObject != nil {
+				j.Spec.OnObject(g, t)
+			}
+		}
+		h, err = s.Sys.StartRFTPBatchOn(j.Spec.Dir, cfg, p, j.src, j.dst, objs, onObject, onDone)
+	case j.Spec.Protocol == ProtoRFTP:
 		cfg := s.Cfg.RFTP
 		cfg.Streams = streams
 		p := s.Sys.Opt.Recovery.ApplyRFTP(s.Cfg.RFTPParams)
@@ -713,7 +848,7 @@ func (s *Scheduler) startAttempt(j *Job, streams int, now sim.Time) {
 			j.rt = rt
 			h = rt
 		}
-	case ProtoGridFTP:
+	case j.Spec.Protocol == ProtoGridFTP:
 		h, err = s.Sys.StartGridFTPOn(j.Spec.Dir, s.Cfg.GridFTP, j.src, j.dst, remaining, onDone)
 	default:
 		err = fmt.Errorf("xfersched: unknown protocol %d", j.Spec.Protocol)
@@ -747,6 +882,13 @@ func (s *Scheduler) check(now sim.Time) {
 			continue
 		}
 		cur := j.handle.Transferred()
+		if j.isBatch() {
+			// Delivered objects are progress even when they carry no
+			// bytes (zero-length objects): weight each delivery past the
+			// one-byte noise threshold below, or a window of empty
+			// objects would wedge the watchdog.
+			cur += 2 * float64(j.objDoneCount)
+		}
 		if cur > j.lastProgress+1 {
 			j.lastProgress = cur
 			j.lastProgressAt = now
@@ -780,14 +922,19 @@ func (s *Scheduler) check(now sim.Time) {
 // the close exchange was lost), requeue it with exponential backoff, or
 // give up.
 func (s *Scheduler) stall(j *Job, now sim.Time) {
-	j.moved += j.handle.Transferred()
+	if !j.isBatch() {
+		// Batch jobs track moved through their per-object ledger; a
+		// stalled window's partial object bytes are discarded (delivery
+		// is all-or-nothing per object), so there is nothing to fold.
+		j.moved += j.handle.Transferred()
+	}
 	j.handle.Stop()
 	j.handle = nil
 	j.foldAttempt()
 	j.Retries++
 	s.release(j)
 	s.removeRunning(j)
-	if float64(j.Spec.Bytes)-j.moved < 1 {
+	if j.workDone() {
 		s.finish(j, now)
 		return
 	}
@@ -819,10 +966,7 @@ func (s *Scheduler) stall(j *Job, now sim.Time) {
 // requeue returns a backed-off job to the admission queue.
 func (s *Scheduler) requeue(j *Job, now sim.Time) {
 	j.State = StateQueued
-	s.queue = append(s.queue, j)
-	if len(s.queue) > s.MaxQueueLen {
-		s.MaxQueueLen = len(s.queue)
-	}
+	s.insertQueued(j)
 	s.schedule(now)
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"e2edt/internal/core"
+	"e2edt/internal/rftp"
 	"e2edt/internal/sim"
 	"e2edt/internal/units"
 )
@@ -62,8 +63,20 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := s.Submit(JobSpec{Tenant: "a", Bytes: 1}); err == nil {
 		t.Fatal("missing ID accepted")
 	}
-	if _, err := s.Submit(spec("j0", "a", 0)); err == nil {
-		t.Fatal("zero bytes accepted")
+	if _, err := s.Submit(spec("jneg", "a", -1)); err == nil {
+		t.Fatal("negative bytes accepted")
+	}
+	// Zero bytes is legal: an empty object's job completes at admission.
+	jz, err := s.Submit(spec("jzero", "a", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jz.State != StateDone {
+		t.Fatalf("zero-byte job state %v, want done", jz.State)
+	}
+	if _, err := s.Submit(JobSpec{ID: "jbatch", Tenant: "a", Protocol: ProtoGridFTP,
+		Objects: []rftp.ObjectSpec{{Key: "b/k", Size: 1}}}); err == nil {
+		t.Fatal("GridFTP batch accepted")
 	}
 	if _, err := s.Submit(spec("j0", "a", units.GB)); err != nil {
 		t.Fatal(err)
